@@ -1,0 +1,33 @@
+//! Runs every table and figure experiment in one go (used to produce
+//! EXPERIMENTS.md).  Table IV is computed once and reused for Figs. 5 and 7.
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    println!("# PPFR full experiment run (scale: {scale:?})\n");
+
+    let t2 = ppfr_core::experiments::table2(scale);
+    println!("{}", t2.to_table_string());
+
+    let t3 = ppfr_core::experiments::table3(scale);
+    println!("{}", t3.to_table_string());
+
+    let f4 = ppfr_core::experiments::fig4(scale);
+    println!("{}", f4.to_table_string());
+    println!(
+        "risk increased in {}/{} dataset-distance pairs\n",
+        f4.count_risk_increases(),
+        f4.rows.len()
+    );
+
+    let t4 = ppfr_core::experiments::table4(scale);
+    println!("Table IV: effectiveness of the methods (high-homophily datasets)");
+    println!("{}", t4.to_table_string());
+    println!("{}", ppfr_core::experiments::fig5_from(&t4).to_table_string());
+    println!("{}", ppfr_core::experiments::fig7_from(&t4).to_table_string());
+
+    let t5 = ppfr_core::experiments::table5(scale);
+    println!("Table V: GCN on weak-homophily datasets");
+    println!("{}", t5.to_table_string());
+
+    let f6 = ppfr_core::experiments::fig6_ablation(scale);
+    println!("{}", f6.to_table_string());
+}

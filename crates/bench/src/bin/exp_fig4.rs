@@ -1,0 +1,12 @@
+//! Regenerates Fig. 4: link-stealing attack AUC per distance metric, before
+//! and after adding the fairness regulariser (GCN).
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let result = ppfr_core::experiments::fig4(scale);
+    println!("{}", result.to_table_string());
+    println!(
+        "risk increased (AUC(Reg) >= AUC(vanilla)) in {}/{} dataset-distance pairs",
+        result.count_risk_increases(),
+        result.rows.len()
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: accuracy cost of the methods on GCN and GAT.
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let table4 = ppfr_core::experiments::table4(scale);
+    let result = ppfr_core::experiments::fig5_from(&table4);
+    println!("{}", result.to_table_string());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: the PPFR ablation (FR-only sweep, PP ratio sweep with
+//! fixed FR, and FR epoch sweep with fixed PP).
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let result = ppfr_core::experiments::fig6_ablation(scale);
+    println!("{}", result.to_table_string());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table II: Pearson correlation between the influence of
+//! training nodes on f_bias and on f_risk, per dataset and model.
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let result = ppfr_core::experiments::table2(scale);
+    println!("{}", result.to_table_string());
+    println!("{}", serde_json::to_string_pretty(&result).expect("serialise result"));
+}

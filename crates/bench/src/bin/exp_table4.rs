@@ -1,0 +1,8 @@
+//! Regenerates Table IV: Δbias / Δrisk / Δ of Reg, DPReg, DPFR and PPFR on the
+//! three high-homophily datasets and all three GNN architectures.
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let result = ppfr_core::experiments::table4(scale);
+    println!("Table IV: effectiveness of the methods (high-homophily datasets)");
+    println!("{}", result.to_table_string());
+}

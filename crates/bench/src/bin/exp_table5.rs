@@ -1,0 +1,8 @@
+//! Regenerates Table V: the same method comparison on the weak-homophily
+//! datasets (Enzymes, Credit) with the GCN model, including Δacc.
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let result = ppfr_core::experiments::table5(scale);
+    println!("Table V: GCN on weak-homophily datasets");
+    println!("{}", result.to_table_string());
+}

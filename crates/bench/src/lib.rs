@@ -1,0 +1,33 @@
+//! Experiment binaries and Criterion benchmarks for the PPFR reproduction.
+//!
+//! * `src/bin/exp_table{2,3,4,5}.rs`, `src/bin/exp_fig{4,5,6,7}.rs` —
+//!   regenerate each table / figure of the paper and print it (pass `--smoke`
+//!   for the reduced scale);
+//! * `benches/kernels.rs` — micro-benchmarks of the hot kernels;
+//! * `benches/tables.rs`, `benches/figures.rs` — smoke-scale end-to-end
+//!   benchmarks, one group per table / figure;
+//! * `benches/ablations.rs` — design-choice ablations called out in DESIGN.md
+//!   (PP vs DP noise, QCLP re-weighting vs top-k node deletion).
+
+use ppfr_core::ExperimentScale;
+
+/// Parses the experiment scale from command-line arguments: `--smoke` selects
+/// the reduced scale, anything else (including nothing) selects full scale.
+pub fn scale_from_args() -> ExperimentScale {
+    if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::Smoke
+    } else {
+        ExperimentScale::Full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // The test binary has no --smoke flag.
+        assert_eq!(scale_from_args(), ExperimentScale::Full);
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared helpers for the experiment drivers.
+
+use crate::{evaluate, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome};
+use ppfr_datasets::{citeseer, cora, credit, enzymes, pubmed, Dataset, DatasetSpec};
+use ppfr_gnn::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Scales a dataset spec for the requested experiment scale: the smoke
+/// variant shrinks node counts and splits proportionally so every experiment
+/// runs in seconds.
+pub fn scaled_spec(mut spec: DatasetSpec, scale: ExperimentScale) -> DatasetSpec {
+    let scaled_nodes = scale.scale_nodes(spec.n_nodes);
+    if scaled_nodes != spec.n_nodes {
+        let ratio = scaled_nodes as f64 / spec.n_nodes as f64;
+        spec.n_val = ((spec.n_val as f64 * ratio).round() as usize).max(20);
+        spec.n_test = ((spec.n_test as f64 * ratio).round() as usize).max(40);
+        spec.n_nodes = scaled_nodes;
+    }
+    spec
+}
+
+/// The three high-homophily datasets of Tables II–IV (Cora, Citeseer, Pubmed).
+pub fn high_homophily_specs(scale: ExperimentScale) -> Vec<DatasetSpec> {
+    vec![
+        scaled_spec(cora(), scale),
+        scaled_spec(citeseer(), scale),
+        scaled_spec(pubmed(), scale),
+    ]
+}
+
+/// The two weak-homophily datasets of Table V (Enzymes, Credit).
+pub fn weak_homophily_specs(scale: ExperimentScale) -> Vec<DatasetSpec> {
+    vec![scaled_spec(enzymes(), scale), scaled_spec(credit(), scale)]
+}
+
+/// One trained-and-evaluated method, cached so several tables/figures can be
+/// derived from a single set of runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodRun {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model architecture name.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// Evaluation of the trained model.
+    pub evaluation: Evaluation,
+}
+
+/// Runs one `(dataset, model, method)` cell and evaluates it.
+pub fn run_and_evaluate(
+    dataset: &Dataset,
+    kind: ModelKind,
+    method: Method,
+    cfg: &PpfrConfig,
+) -> (TrainedOutcome, MethodRun) {
+    let outcome = run_method(dataset, kind, method, cfg);
+    let evaluation = evaluate(&outcome, dataset, cfg);
+    let run = MethodRun {
+        dataset: dataset.name.to_string(),
+        model: kind.name().to_string(),
+        method: method.name().to_string(),
+        evaluation,
+    };
+    (outcome, run)
+}
+
+/// Formats a fractional change as the percentage string used in the paper's
+/// tables (e.g. `-35.51`).
+pub fn pct(value: f64) -> String {
+    format!("{:+.2}", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scaling_shrinks_every_preset() {
+        for spec in high_homophily_specs(ExperimentScale::Smoke)
+            .into_iter()
+            .chain(weak_homophily_specs(ExperimentScale::Smoke))
+        {
+            let full = match spec.name {
+                "cora" => cora(),
+                "citeseer" => citeseer(),
+                "pubmed" => pubmed(),
+                "enzymes" => enzymes(),
+                "credit" => credit(),
+                other => panic!("unexpected preset {other}"),
+            };
+            assert!(spec.n_nodes < full.n_nodes, "{} not scaled", spec.name);
+            assert!(spec.n_val >= 20 && spec.n_test >= 40);
+        }
+    }
+
+    #[test]
+    fn full_scaling_is_identity() {
+        let spec = scaled_spec(cora(), ExperimentScale::Full);
+        assert_eq!(spec.n_nodes, cora().n_nodes);
+        assert_eq!(spec.n_test, cora().n_test);
+    }
+
+    #[test]
+    fn pct_formats_with_sign() {
+        assert_eq!(pct(-0.3551), "-35.51");
+        assert_eq!(pct(0.018), "+1.80");
+    }
+}

@@ -1,0 +1,220 @@
+//! Drivers for Fig. 4 (attack AUC per distance), Fig. 5 and Fig. 7 (accuracy
+//! cost per method).
+
+use super::common::run_and_evaluate;
+use super::tables::Table4Result;
+use super::high_homophily_specs;
+use crate::ExperimentScale;
+use crate::Method;
+use ppfr_datasets::generate;
+use ppfr_gnn::ModelKind;
+use serde::{Deserialize, Serialize};
+
+const DATA_SEED: u64 = 7;
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — privacy risk per distance, before and after the fairness regulariser
+// ---------------------------------------------------------------------------
+
+/// One bar pair of Fig. 4: attack AUC under one distance, vanilla vs Reg.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Distance metric name.
+    pub distance: String,
+    /// Attack AUC of the vanilla GCN.
+    pub auc_vanilla: f64,
+    /// Attack AUC of the fairness-regularised GCN.
+    pub auc_reg: f64,
+}
+
+/// Full Fig. 4 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// One row per (dataset, distance).
+    pub rows: Vec<Fig4Row>,
+}
+
+impl Fig4Result {
+    /// Plain-text rendering of the figure's series.
+    pub fn to_table_string(&self) -> String {
+        let mut out = String::from("Fig. 4: link-stealing AUC per distance (Vanilla vs Reg, GCN)\n");
+        out.push_str("dataset    distance      AUC(vanilla)  AUC(Reg)   change\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:<13} {:>10.4} {:>10.4}  {:+.4}\n",
+                row.dataset,
+                row.distance,
+                row.auc_vanilla,
+                row.auc_reg,
+                row.auc_reg - row.auc_vanilla
+            ));
+        }
+        out
+    }
+
+    /// Number of (dataset, distance) pairs where the regularised model leaks
+    /// at least as much as the vanilla model — the paper's RQ1 observation.
+    pub fn count_risk_increases(&self) -> usize {
+        self.rows.iter().filter(|r| r.auc_reg >= r.auc_vanilla).count()
+    }
+}
+
+/// Regenerates Fig. 4: attack AUC per distance metric for the vanilla GCN and
+/// the fairness-regularised GCN on each high-homophily dataset.
+pub fn fig4(scale: ExperimentScale) -> Fig4Result {
+    let cfg = scale.config();
+    let mut rows = Vec::new();
+    for spec in high_homophily_specs(scale) {
+        let dataset = generate(&spec, DATA_SEED);
+        let (_, vanilla) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
+        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
+        for ((name_v, auc_v), (name_r, auc_r)) in vanilla
+            .evaluation
+            .auc_per_distance
+            .iter()
+            .zip(reg.evaluation.auc_per_distance.iter())
+        {
+            debug_assert_eq!(name_v, name_r);
+            rows.push(Fig4Row {
+                dataset: spec.name.to_string(),
+                distance: name_v.clone(),
+                auc_vanilla: *auc_v,
+                auc_reg: *auc_r,
+            });
+        }
+    }
+    Fig4Result { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 5 & 7 — accuracy cost of the methods
+// ---------------------------------------------------------------------------
+
+/// One bar of Fig. 5 / Fig. 7: the accuracy cost of a method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigAccRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model architecture.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// Relative accuracy change vs vanilla (%).
+    pub d_acc_pct: f64,
+    /// Absolute accuracy (%) for context.
+    pub accuracy_pct: f64,
+}
+
+/// Accuracy-cost figure (Fig. 5 for GCN & GAT, Fig. 7 for GraphSAGE).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigAccResult {
+    /// Figure label ("Fig. 5" or "Fig. 7").
+    pub label: String,
+    /// One row per bar.
+    pub rows: Vec<FigAccRow>,
+}
+
+impl FigAccResult {
+    /// Plain-text rendering of the figure's bars.
+    pub fn to_table_string(&self) -> String {
+        let mut out = format!("{}: accuracy cost of the methods (ΔAcc %, higher is better)\n", self.label);
+        out.push_str("dataset    model      method    ΔAcc%     Acc%\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:<10} {:<8} {:>8.2} {:>8.2}\n",
+                row.dataset, row.model, row.method, row.d_acc_pct, row.accuracy_pct
+            ));
+        }
+        out
+    }
+}
+
+fn acc_rows_for_models(table4: &Table4Result, models: &[&str]) -> Vec<FigAccRow> {
+    table4
+        .rows
+        .iter()
+        .filter(|r| models.contains(&r.model.as_str()))
+        .map(|r| FigAccRow {
+            dataset: r.dataset.clone(),
+            model: r.model.clone(),
+            method: r.method.clone(),
+            d_acc_pct: r.d_acc_pct,
+            accuracy_pct: r.evaluation.evaluation.accuracy * 100.0,
+        })
+        .collect()
+}
+
+/// Derives Fig. 5 (accuracy cost on GCN and GAT) from a Table IV run.
+pub fn fig5_from(table4: &Table4Result) -> FigAccResult {
+    FigAccResult { label: "Fig. 5".to_string(), rows: acc_rows_for_models(table4, &["GCN", "GAT"]) }
+}
+
+/// Derives Fig. 7 (accuracy cost on GraphSAGE) from a Table IV run.
+pub fn fig7_from(table4: &Table4Result) -> FigAccResult {
+    FigAccResult { label: "Fig. 7".to_string(), rows: acc_rows_for_models(table4, &["GraphSage"]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tables::Table4Row;
+    use crate::experiments::MethodRun;
+    use crate::Evaluation;
+
+    fn fake_table4() -> Table4Result {
+        let eval = Evaluation {
+            accuracy: 0.8,
+            bias: 0.05,
+            risk_auc: 0.9,
+            risk_gap: 0.1,
+            auc_per_distance: vec![],
+        };
+        let run = |model: &str, method: &str| MethodRun {
+            dataset: "cora".into(),
+            model: model.into(),
+            method: method.into(),
+            evaluation: eval.clone(),
+        };
+        let row = |model: &str, method: &str| Table4Row {
+            dataset: "cora".into(),
+            model: model.into(),
+            method: method.into(),
+            d_acc_pct: -2.0,
+            d_bias_pct: -20.0,
+            d_risk_pct: -1.0,
+            delta: 0.1,
+            evaluation: run(model, method),
+            vanilla: run(model, "Vanilla"),
+        };
+        Table4Result {
+            rows: vec![row("GCN", "Reg"), row("GAT", "PPFR"), row("GraphSage", "PPFR")],
+        }
+    }
+
+    #[test]
+    fn fig5_and_fig7_partition_the_models() {
+        let t4 = fake_table4();
+        let f5 = fig5_from(&t4);
+        let f7 = fig7_from(&t4);
+        assert_eq!(f5.rows.len(), 2);
+        assert_eq!(f7.rows.len(), 1);
+        assert!(f5.rows.iter().all(|r| r.model != "GraphSage"));
+        assert!(f7.rows.iter().all(|r| r.model == "GraphSage"));
+        assert!(f5.to_table_string().contains("Fig. 5"));
+        assert!(f7.to_table_string().contains("Fig. 7"));
+    }
+
+    #[test]
+    fn fig4_risk_increase_counter() {
+        let result = Fig4Result {
+            rows: vec![
+                Fig4Row { dataset: "cora".into(), distance: "cosine".into(), auc_vanilla: 0.8, auc_reg: 0.85 },
+                Fig4Row { dataset: "cora".into(), distance: "euclidean".into(), auc_vanilla: 0.9, auc_reg: 0.88 },
+            ],
+        };
+        assert_eq!(result.count_risk_increases(), 1);
+        assert!(result.to_table_string().contains("cosine"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each driver takes an [`ExperimentScale`](crate::ExperimentScale) so the
+//! same code serves the full reproduction (the numbers recorded in
+//! EXPERIMENTS.md) and the fast smoke variant used by Criterion benches and
+//! integration tests.  Every result type serialises to JSON and renders a
+//! plain-text table through its `to_table_string` method, which is what the
+//! `exp_*` binaries in `ppfr-bench` print.
+
+mod ablation;
+mod common;
+mod figures;
+mod tables;
+
+pub use ablation::{fig6_ablation, AblationCurve, AblationPoint, Fig6Result};
+pub use common::{high_homophily_specs, scaled_spec, weak_homophily_specs, MethodRun};
+pub use figures::{fig4, fig5_from, fig7_from, Fig4Result, Fig4Row, FigAccRow, FigAccResult};
+pub use tables::{
+    table2, table3, table4, table5, vanilla_vs_reg_bias_risk, Table2Result, Table2Row,
+    Table3Result, Table3Row, Table4Result, Table4Row, Table5Result,
+};

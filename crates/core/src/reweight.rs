@@ -1,0 +1,111 @@
+//! Fairness-aware re-weighting (FR): influence functions + QCLP (Eq. 13).
+
+use crate::PpfrConfig;
+use ppfr_gnn::{AnyModel, GraphContext};
+use ppfr_graph::SparseMatrix;
+use ppfr_influence::{compute_influences, InfluenceSet};
+use ppfr_privacy::PairSample;
+use ppfr_qclp::{solve, QclpProblem, SolverOptions};
+
+/// Outcome of the fairness-aware re-weighting step.
+#[derive(Debug, Clone)]
+pub struct ReweightOutcome {
+    /// Optimal QCLP weights `w_v ∈ [−1, 1]`, aligned with the training nodes.
+    pub weights: Vec<f64>,
+    /// Fine-tuning loss weights `1 + w_v` ready for [`ppfr_gnn::train`].
+    pub loss_weights: Vec<f64>,
+    /// The per-node influences the QCLP was built from (kept for reporting,
+    /// e.g. the Table II correlation analysis).
+    pub influences: InfluenceSet,
+    /// QCLP objective value (predicted first-order bias change).
+    pub predicted_bias_change: f64,
+}
+
+/// Computes the fairness-aware loss weights for fine-tuning a vanilla-trained
+/// model (§VI-B1):
+///
+/// 1. influence of every labelled node on utility and bias (Eqs. 11–12);
+/// 2. QCLP of Eq. (13) solved by projected gradient descent;
+/// 3. weights returned both raw (`w_v`) and as loss multipliers (`1 + w_v`).
+pub fn fairness_weights(
+    model: &AnyModel,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    l_s: &SparseMatrix,
+    sample: &PairSample,
+    cfg: &PpfrConfig,
+) -> ReweightOutcome {
+    let influences = compute_influences(
+        model,
+        ctx,
+        labels,
+        train_ids,
+        l_s,
+        sample,
+        &cfg.influence_config(),
+    );
+    let problem = QclpProblem {
+        bias_influence: influences.bias.clone(),
+        util_influence: influences.util.clone(),
+        alpha: cfg.qclp_alpha,
+        beta: cfg.qclp_beta,
+    };
+    let solution = solve(&problem, &SolverOptions::default());
+    let loss_weights: Vec<f64> = solution.weights.iter().map(|w| 1.0 + w).collect();
+    ReweightOutcome {
+        weights: solution.weights,
+        loss_weights,
+        influences,
+        predicted_bias_change: solution.objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfr_datasets::{generate, two_block_synthetic};
+    use ppfr_gnn::{train, ModelKind};
+    use ppfr_graph::{jaccard_similarity, similarity_laplacian};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_bounded_feasible_and_predict_bias_reduction() {
+        let ds = generate(&two_block_synthetic(), 31);
+        let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+        let mut model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 8, ds.n_classes, 3);
+        let cfg = PpfrConfig::smoke();
+        let uniform = vec![1.0; ds.splits.train.len()];
+        train(
+            &mut model,
+            &ctx,
+            &ds.labels,
+            &ds.splits.train,
+            &uniform,
+            None,
+            &cfg.vanilla_train_config(),
+        );
+        let s = jaccard_similarity(&ds.graph);
+        let l_s = similarity_laplacian(&s);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let sample = PairSample::balanced(&ds.graph, &mut rng);
+
+        let outcome = fairness_weights(&model, &ctx, &ds.labels, &ds.splits.train, &l_s, &sample, &cfg);
+        assert_eq!(outcome.weights.len(), ds.splits.train.len());
+        assert!(outcome.weights.iter().all(|w| (-1.0 - 1e-6..=1.0 + 1e-6).contains(w)));
+        assert!(outcome
+            .loss_weights
+            .iter()
+            .zip(&outcome.weights)
+            .all(|(&lw, &w)| (lw - (1.0 + w)).abs() < 1e-12));
+        // The QCLP objective is the predicted first-order bias change; it must
+        // not be positive (the zero vector is feasible with value 0).
+        assert!(outcome.predicted_bias_change <= 1e-9, "predicted change {}", outcome.predicted_bias_change);
+        // The weights must not be all zero (otherwise FR is a no-op).
+        assert!(outcome.weights.iter().any(|&w| w.abs() > 1e-6));
+        // The ℓ₂ budget of Eq. (13) holds.
+        let norm_sq: f64 = outcome.weights.iter().map(|w| w * w).sum();
+        assert!(norm_sq <= cfg.qclp_alpha * ds.splits.train.len() as f64 + 1e-6);
+    }
+}

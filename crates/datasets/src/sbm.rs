@@ -1,0 +1,184 @@
+//! Degree-corrected stochastic block model generator with class-conditional
+//! sparse binary features.
+
+use crate::{DatasetSpec, Splits};
+use ppfr_graph::Graph;
+use ppfr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset: graph structure, node features, labels and the
+/// Planetoid-style train/val/test split.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (copied from the spec).
+    pub name: &'static str,
+    /// Undirected graph structure.
+    pub graph: Graph,
+    /// Node features, one row per node.
+    pub features: Matrix,
+    /// Ground-truth class label per node.
+    pub labels: Vec<usize>,
+    /// Train / validation / test node-index split.
+    pub splits: Splits,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    /// One-hot label matrix (used by cross-entropy helpers in tests).
+    pub fn one_hot_labels(&self) -> Matrix {
+        let mut y = Matrix::zeros(self.labels.len(), self.n_classes);
+        for (i, &l) in self.labels.iter().enumerate() {
+            y[(i, l)] = 1.0;
+        }
+        y
+    }
+}
+
+/// Generates a dataset from a spec with a fixed RNG seed.
+///
+/// The generator follows three steps:
+/// 1. assign balanced labels (`node i → class i mod c`, then shuffled);
+/// 2. sample edges from a degree-corrected SBM with intra/inter probabilities
+///    from [`DatasetSpec::block_probabilities`];
+/// 3. sample sparse binary features where each class "owns" a contiguous
+///    block of feature bits that fire with probability `feature_signal`
+///    (background bits fire with `feature_noise`).
+pub fn generate(spec: &DatasetSpec, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n = spec.n_nodes;
+    let c = spec.n_classes;
+
+    // --- labels: balanced then shuffled -------------------------------------
+    let mut labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        labels.swap(i, j);
+    }
+
+    // --- degree propensities (degree correction) ----------------------------
+    // theta_i in [1-skew, 1+skew*tail], normalised to mean 1.
+    let mut theta: Vec<f64> = (0..n)
+        .map(|_| {
+            if spec.degree_skew <= 0.0 {
+                1.0
+            } else {
+                // Pareto-ish heavy tail truncated at 6x the mean.
+                let u: f64 = rng.gen_range(0.0_f64..1.0);
+                (1.0 - spec.degree_skew) + spec.degree_skew * (1.0 / (1.0 - 0.9 * u)).min(6.0)
+            }
+        })
+        .collect();
+    let mean_theta = theta.iter().sum::<f64>() / n as f64;
+    for t in &mut theta {
+        *t /= mean_theta;
+    }
+
+    // --- edges ---------------------------------------------------------------
+    let (p, q) = spec.block_probabilities();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let base = if labels[u] == labels[v] { p } else { q };
+            let prob = (base * theta[u] * theta[v]).min(1.0);
+            if prob > 0.0 && rng.gen_bool(prob) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+
+    // --- features ------------------------------------------------------------
+    let d = spec.feat_dim;
+    let block = (d / c).max(1);
+    let mut features = Matrix::zeros(n, d);
+    for i in 0..n {
+        let class = labels[i];
+        let start = class * block;
+        let end = ((class + 1) * block).min(d);
+        for f in 0..d {
+            let p_fire = if f >= start && f < end { spec.feature_signal } else { spec.feature_noise };
+            if rng.gen_bool(p_fire) {
+                features[(i, f)] = 1.0;
+            }
+        }
+    }
+
+    // --- splits --------------------------------------------------------------
+    let splits = Splits::planetoid(&labels, c, spec.train_per_class, spec.n_val, spec.n_test, &mut rng);
+
+    Dataset { name: spec.name, graph, features, labels, splits, n_classes: c }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{cora, two_block_synthetic};
+    use ppfr_graph::{edge_density, intra_inter_probabilities};
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let ds = generate(&cora(), 1);
+        let mut counts = vec![0usize; ds.n_classes];
+        for &l in &ds.labels {
+            counts[l] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= 1, "balanced assignment expected, got {counts:?}");
+    }
+
+    #[test]
+    fn generated_graph_is_sparse_and_homophilous_in_p_q() {
+        let ds = generate(&cora(), 2);
+        assert!(edge_density(&ds.graph) < 0.02, "citation graphs must be sparse");
+        let (p, q) = intra_inter_probabilities(&ds.graph, &ds.labels);
+        assert!(p > q, "empirical p={p} must exceed q={q}");
+    }
+
+    #[test]
+    fn features_are_binary_and_class_informative() {
+        let ds = generate(&two_block_synthetic(), 5);
+        assert!(ds.features.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        // Class-0 nodes should fire more bits in the class-0 block than class-1 nodes do.
+        let spec = two_block_synthetic();
+        let block = spec.feat_dim / spec.n_classes;
+        let mut in_block = [0.0_f64; 2];
+        let mut counts = [0.0_f64; 2];
+        for i in 0..ds.n_nodes() {
+            let c = ds.labels[i];
+            counts[c] += 1.0;
+            in_block[c] += ds.features.row(i)[..block].iter().sum::<f64>();
+        }
+        let rate0 = in_block[0] / counts[0];
+        let rate1 = in_block[1] / counts[1];
+        assert!(rate0 > 2.0 * rate1, "class-0 block should fire mostly for class-0 nodes: {rate0} vs {rate1}");
+    }
+
+    #[test]
+    fn one_hot_labels_have_single_one_per_row() {
+        let ds = generate(&two_block_synthetic(), 9);
+        let y = ds.one_hot_labels();
+        for r in 0..y.rows() {
+            assert!((y.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(y[(r, ds.labels[r])], 1.0);
+        }
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_train_covers_each_class() {
+        let ds = generate(&cora(), 4);
+        ds.splits.assert_valid(ds.n_nodes());
+        let mut class_seen = vec![false; ds.n_classes];
+        for &v in &ds.splits.train {
+            class_seen[ds.labels[v]] = true;
+        }
+        assert!(class_seen.iter().all(|&b| b), "every class needs labelled training nodes");
+    }
+}

@@ -1,0 +1,115 @@
+//! Lipschitz-style individual-fairness audit.
+//!
+//! "Similar nodes should receive similar predictions" can be audited pair by
+//! pair: a pair `(i, j)` with similarity `S_ij` violates an `L`-Lipschitz
+//! fairness promise when `‖P_i − P_j‖ > L · (1 − S_ij) + tol`.  The audit is
+//! a complementary, more interpretable view of the aggregate InFoRM bias.
+
+use ppfr_graph::SparseMatrix;
+use ppfr_linalg::Matrix;
+
+/// A single fairness violation found by [`lipschitz_violations`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// First node of the pair.
+    pub i: usize,
+    /// Second node of the pair.
+    pub j: usize,
+    /// Jaccard similarity of the pair.
+    pub similarity: f64,
+    /// Euclidean distance between the two prediction rows.
+    pub prediction_distance: f64,
+}
+
+/// Returns every pair `(i, j)` with `S_ij > 0` whose prediction distance
+/// exceeds `lipschitz * (1 − S_ij)`.
+pub fn lipschitz_violations(
+    probs: &Matrix,
+    similarity: &SparseMatrix,
+    lipschitz: f64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, j, s) in similarity.iter() {
+        if i >= j || s <= 0.0 {
+            continue;
+        }
+        let mut d2 = 0.0;
+        for c in 0..probs.cols() {
+            let d = probs[(i, c)] - probs[(j, c)];
+            d2 += d * d;
+        }
+        let dist = d2.sqrt();
+        if dist > lipschitz * (1.0 - s) {
+            out.push(Violation { i, j, similarity: s, prediction_distance: dist });
+        }
+    }
+    out
+}
+
+/// The largest prediction gap among maximally-similar pairs (`S_ij ≥ 0.99`).
+/// Zero when no such pair exists.
+pub fn max_unfairness_gap(probs: &Matrix, similarity: &SparseMatrix) -> f64 {
+    let mut max_gap: f64 = 0.0;
+    for (i, j, s) in similarity.iter() {
+        if i >= j || s < 0.99 {
+            continue;
+        }
+        let mut d2 = 0.0;
+        for c in 0..probs.cols() {
+            let d = probs[(i, c)] - probs[(j, c)];
+            d2 += d * d;
+        }
+        max_gap = max_gap.max(d2.sqrt());
+    }
+    max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfr_graph::{jaccard_similarity, Graph};
+
+    fn triangle_plus_tail() -> (Graph, SparseMatrix) {
+        // 0-1-2 triangle (nodes 0 and 1 are twins) with a tail 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let s = jaccard_similarity(&g);
+        (g, s)
+    }
+
+    #[test]
+    fn identical_predictions_produce_no_violations() {
+        let (_, s) = triangle_plus_tail();
+        let probs = Matrix::filled(4, 2, 0.5);
+        assert!(lipschitz_violations(&probs, &s, 0.1).is_empty());
+        assert_eq!(max_unfairness_gap(&probs, &s), 0.0);
+    }
+
+    #[test]
+    fn twins_with_opposite_predictions_are_flagged() {
+        let (_, s) = triangle_plus_tail();
+        // Nodes 0 and 1 have similarity 1 but opposite predictions.
+        let probs = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+        ]);
+        let violations = lipschitz_violations(&probs, &s, 0.5);
+        assert!(violations.iter().any(|v| (v.i, v.j) == (0, 1)), "twin pair must be flagged");
+        assert!(max_unfairness_gap(&probs, &s) > 1.0);
+    }
+
+    #[test]
+    fn looser_lipschitz_constant_reduces_violations() {
+        let (_, s) = triangle_plus_tail();
+        let probs = Matrix::from_rows(&[
+            vec![0.8, 0.2],
+            vec![0.4, 0.6],
+            vec![0.6, 0.4],
+            vec![0.3, 0.7],
+        ]);
+        let strict = lipschitz_violations(&probs, &s, 0.01).len();
+        let loose = lipschitz_violations(&probs, &s, 10.0).len();
+        assert!(strict >= loose);
+    }
+}

@@ -1,0 +1,130 @@
+//! REDRESS-style ranking fairness (extension).
+//!
+//! REDRESS (Dong et al., KDD'21) measures individual fairness from a ranking
+//! perspective: for every node, the ranking of the other nodes induced by the
+//! *prediction* similarity should agree with the ranking induced by the
+//! *input* (here: Jaccard) similarity.  We report the average NDCG@k of the
+//! prediction-based ranking against the similarity-based ground truth, which
+//! is the metric REDRESS optimises.  It is not used by the PPFR pipeline but
+//! provides a second, independent fairness lens for the examples.
+
+use ppfr_graph::SparseMatrix;
+use ppfr_linalg::Matrix;
+
+fn prediction_similarity(probs: &Matrix, i: usize, j: usize) -> f64 {
+    // Negative euclidean distance as a similarity score.
+    let mut d2 = 0.0;
+    for c in 0..probs.cols() {
+        let d = probs[(i, c)] - probs[(j, c)];
+        d2 += d * d;
+    }
+    -d2.sqrt()
+}
+
+/// Average NDCG@k agreement between the prediction-induced ranking and the
+/// Jaccard-similarity-induced ranking, over nodes with at least one positive
+/// similarity entry.  Returns a value in `[0, 1]`; higher is fairer.
+pub fn ranking_fairness_ndcg(probs: &Matrix, similarity: &SparseMatrix, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let n = probs.rows();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let neighbors: Vec<(usize, f64)> = similarity.row(i).filter(|&(j, s)| j != i && s > 0.0).collect();
+        if neighbors.is_empty() {
+            continue;
+        }
+        // Ideal DCG: neighbours sorted by true similarity.
+        let mut by_sim = neighbors.clone();
+        by_sim.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let idcg: f64 = by_sim
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(rank, &(_, s))| (2f64.powf(s) - 1.0) / ((rank + 2) as f64).log2())
+            .sum();
+        if idcg <= 0.0 {
+            continue;
+        }
+        // DCG of the prediction-induced ranking.
+        let mut by_pred = neighbors.clone();
+        by_pred.sort_by(|a, b| {
+            prediction_similarity(probs, i, b.0)
+                .partial_cmp(&prediction_similarity(probs, i, a.0))
+                .unwrap()
+        });
+        let dcg: f64 = by_pred
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(rank, &(_, s))| (2f64.powf(s) - 1.0) / ((rank + 2) as f64).log2())
+            .sum();
+        total += dcg / idcg;
+        counted += 1;
+    }
+    if counted == 0 {
+        return 1.0;
+    }
+    total / counted as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfr_graph::{jaccard_similarity, Graph};
+
+    #[test]
+    fn single_candidate_rankings_score_one_and_ndcg_is_bounded() {
+        // With a single edge each node has exactly one ranking candidate, so
+        // any prediction ordering is trivially perfect.
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let s = jaccard_similarity(&g);
+        let probs = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]);
+        let ndcg = ranking_fairness_ndcg(&probs, &s, 3);
+        assert!((ndcg - 1.0).abs() < 1e-12, "single-candidate NDCG must be 1, got {ndcg}");
+
+        // On a larger graph the score stays inside (0, 1].
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let s = jaccard_similarity(&g);
+        let probs = Matrix::from_rows(&[
+            vec![0.7, 0.3],
+            vec![0.6, 0.4],
+            vec![0.4, 0.6],
+            vec![0.3, 0.7],
+        ]);
+        let ndcg = ranking_fairness_ndcg(&probs, &s, 3);
+        assert!(ndcg > 0.0 && ndcg <= 1.0 + 1e-12, "NDCG out of range: {ndcg}");
+    }
+
+    #[test]
+    fn anti_correlated_predictions_score_lower() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (0, 3), (3, 4)]);
+        let s = jaccard_similarity(&g);
+        let aligned = Matrix::from_rows(&[
+            vec![0.9, 0.1],
+            vec![0.88, 0.12],
+            vec![0.86, 0.14],
+            vec![0.3, 0.7],
+            vec![0.2, 0.8],
+        ]);
+        // Scramble: most-similar neighbours get the most distant predictions.
+        let scrambled = Matrix::from_rows(&[
+            vec![0.9, 0.1],
+            vec![0.05, 0.95],
+            vec![0.5, 0.5],
+            vec![0.89, 0.11],
+            vec![0.9, 0.1],
+        ]);
+        let good = ranking_fairness_ndcg(&aligned, &s, 4);
+        let bad = ranking_fairness_ndcg(&scrambled, &s, 4);
+        assert!(good >= bad, "aligned predictions must not rank worse: {good} vs {bad}");
+    }
+
+    #[test]
+    fn graph_without_edges_returns_one() {
+        let g = Graph::empty(3);
+        let s = jaccard_similarity(&g);
+        let probs = Matrix::filled(3, 2, 0.5);
+        assert_eq!(ranking_fairness_ndcg(&probs, &s, 2), 1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Two-layer single-head graph attention network (Veličković et al. 2018).
+//!
+//! Attention over the closed neighbourhood (self loop included):
+//! `e_{ij} = LeakyReLU(a_srcᵀ W h_i + a_dstᵀ W h_j)`,
+//! `α_{ij} = softmax_j(e_{ij})`, `h'_i = Σ_j α_{ij} W h_j`.
+
+use crate::{GnnModel, GraphContext};
+use ppfr_linalg::{leaky_relu, leaky_relu_grad, relu, relu_grad, Matrix};
+use rand::Rng;
+
+const LEAKY_SLOPE: f64 = 0.2;
+
+/// One single-head attention layer.
+#[derive(Debug, Clone)]
+struct GatLayer {
+    w: Matrix,
+    a_src: Vec<f64>,
+    a_dst: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Per-layer forward cache used by the hand-derived backward pass.
+struct LayerCache {
+    h: Matrix,
+    pre: Vec<f64>,
+    alpha: Vec<f64>,
+    out: Matrix,
+}
+
+impl GatLayer {
+    fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let a = Matrix::glorot(2, out_dim, rng);
+        Self {
+            w: Matrix::glorot(in_dim, out_dim, rng),
+            a_src: a.row(0).to_vec(),
+            a_dst: a.row(1).to_vec(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    fn n_params(&self) -> usize {
+        self.in_dim * self.out_dim + 2 * self.out_dim
+    }
+
+    fn forward(&self, ctx: &GraphContext, x: &Matrix) -> LayerCache {
+        let n = ctx.n_nodes();
+        let h = x.matmul(&self.w);
+        // s_i = h_i · a_src, t_j = h_j · a_dst
+        let s: Vec<f64> = (0..n).map(|i| dot(h.row(i), &self.a_src)).collect();
+        let t: Vec<f64> = (0..n).map(|j| dot(h.row(j), &self.a_dst)).collect();
+        let m = ctx.att_edges.len();
+        let mut pre = vec![0.0; m];
+        for (e, &(dst, src)) in ctx.att_edges.iter().enumerate() {
+            pre[e] = s[dst] + t[src];
+        }
+        // Softmax of LeakyReLU(pre) within each destination group.
+        let mut alpha = vec![0.0; m];
+        for v in 0..n {
+            let range = ctx.att_ptr[v]..ctx.att_ptr[v + 1];
+            let max = pre[range.clone()]
+                .iter()
+                .map(|&p| leaky_relu(p, LEAKY_SLOPE))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for e in range.clone() {
+                let a = (leaky_relu(pre[e], LEAKY_SLOPE) - max).exp();
+                alpha[e] = a;
+                sum += a;
+            }
+            for e in range {
+                alpha[e] /= sum;
+            }
+        }
+        // out_i = Σ_j α_ij h_j
+        let mut out = Matrix::zeros(n, self.out_dim);
+        for (e, &(dst, src)) in ctx.att_edges.iter().enumerate() {
+            let a = alpha[e];
+            let h_src = h.row(src).to_vec();
+            let row = out.row_mut(dst);
+            for (o, hv) in row.iter_mut().zip(h_src.iter()) {
+                *o += a * hv;
+            }
+        }
+        LayerCache { h, pre, alpha, out }
+    }
+
+    /// Backward pass; returns `(d_w, d_a_src, d_a_dst, d_x)`.
+    fn backward(
+        &self,
+        ctx: &GraphContext,
+        x: &Matrix,
+        cache: &LayerCache,
+        d_out: &Matrix,
+    ) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
+        let n = ctx.n_nodes();
+        let m = ctx.att_edges.len();
+        let h = &cache.h;
+        let mut d_h = Matrix::zeros(n, self.out_dim);
+        // dα_e = d_out[dst] · h[src]; accumulate dH[src] += α_e d_out[dst].
+        let mut d_alpha = vec![0.0; m];
+        for (e, &(dst, src)) in ctx.att_edges.iter().enumerate() {
+            d_alpha[e] = dot(d_out.row(dst), h.row(src));
+            let a = cache.alpha[e];
+            let d_row = d_out.row(dst).to_vec();
+            let target = d_h.row_mut(src);
+            for (t_v, d_v) in target.iter_mut().zip(d_row.iter()) {
+                *t_v += a * d_v;
+            }
+        }
+        // Softmax backward within each destination group, then LeakyReLU.
+        let mut d_s = vec![0.0; n];
+        let mut d_t = vec![0.0; n];
+        for v in 0..n {
+            let range = ctx.att_ptr[v]..ctx.att_ptr[v + 1];
+            let inner: f64 = range.clone().map(|e| cache.alpha[e] * d_alpha[e]).sum();
+            for e in range {
+                let d_e = cache.alpha[e] * (d_alpha[e] - inner);
+                let d_pre = d_e * leaky_relu_grad(cache.pre[e], LEAKY_SLOPE);
+                let (dst, src) = ctx.att_edges[e];
+                d_s[dst] += d_pre;
+                d_t[src] += d_pre;
+            }
+        }
+        // s_i = h_i · a_src, t_j = h_j · a_dst.
+        let mut d_a_src = vec![0.0; self.out_dim];
+        let mut d_a_dst = vec![0.0; self.out_dim];
+        for i in 0..n {
+            let h_row = h.row(i);
+            for c in 0..self.out_dim {
+                d_a_src[c] += d_s[i] * h_row[c];
+                d_a_dst[c] += d_t[i] * h_row[c];
+            }
+            let row = d_h.row_mut(i);
+            for (c, r) in row.iter_mut().enumerate() {
+                *r += d_s[i] * self.a_src[c] + d_t[i] * self.a_dst[c];
+            }
+        }
+        // h = x W.
+        let d_w = x.transpose().matmul(&d_h);
+        let d_x = d_h.matmul(&self.w.transpose());
+        (d_w, d_a_src, d_a_dst, d_x)
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Two-layer single-head GAT: attention layer → ReLU → attention layer.
+#[derive(Debug, Clone)]
+pub struct Gat {
+    layer1: GatLayer,
+    layer2: GatLayer,
+    n_classes: usize,
+}
+
+impl Gat {
+    /// Glorot-initialised GAT with hidden width `hidden`.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, n_classes: usize, rng: &mut R) -> Self {
+        Self {
+            layer1: GatLayer::new(in_dim, hidden, rng),
+            layer2: GatLayer::new(hidden, n_classes, rng),
+            n_classes,
+        }
+    }
+}
+
+impl GnnModel for Gat {
+    fn forward(&self, ctx: &GraphContext) -> Matrix {
+        let c1 = self.layer1.forward(ctx, &ctx.features);
+        let h1 = relu(&c1.out);
+        self.layer2.forward(ctx, &h1).out
+    }
+
+    fn backward(&self, ctx: &GraphContext, d_logits: &Matrix) -> Vec<f64> {
+        let c1 = self.layer1.forward(ctx, &ctx.features);
+        let h1 = relu(&c1.out);
+        let c2 = self.layer2.forward(ctx, &h1);
+        let (d_w2, d_a2s, d_a2d, d_h1) = self.layer2.backward(ctx, &h1, &c2, d_logits);
+        let d_pre1 = relu_grad(&c1.out, &d_h1);
+        let (d_w1, d_a1s, d_a1d, _d_x) = self.layer1.backward(ctx, &ctx.features, &c1, &d_pre1);
+        let mut grads = d_w1.into_vec();
+        grads.extend(d_a1s);
+        grads.extend(d_a1d);
+        grads.extend(d_w2.into_vec());
+        grads.extend(d_a2s);
+        grads.extend(d_a2d);
+        grads
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = self.layer1.w.as_slice().to_vec();
+        p.extend_from_slice(&self.layer1.a_src);
+        p.extend_from_slice(&self.layer1.a_dst);
+        p.extend_from_slice(self.layer2.w.as_slice());
+        p.extend_from_slice(&self.layer2.a_src);
+        p.extend_from_slice(&self.layer2.a_dst);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.n_params(), "parameter length mismatch");
+        let mut cursor = 0usize;
+        for layer in [&mut self.layer1, &mut self.layer2] {
+            let w_len = layer.in_dim * layer.out_dim;
+            layer.w = Matrix::from_vec(layer.in_dim, layer.out_dim, params[cursor..cursor + w_len].to_vec());
+            cursor += w_len;
+            layer.a_src = params[cursor..cursor + layer.out_dim].to_vec();
+            cursor += layer.out_dim;
+            layer.a_dst = params[cursor..cursor + layer.out_dim].to_vec();
+            cursor += layer.out_dim;
+        }
+        debug_assert_eq!(cursor, params.len());
+    }
+
+    fn n_params(&self) -> usize {
+        self.layer1.n_params() + self.layer2.n_params()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfr_graph::Graph;
+    use ppfr_nn::{central_difference, max_relative_error};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_ctx() -> GraphContext {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (2, 5)]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Matrix::gaussian(6, 4, 0.0, 1.0, &mut rng);
+        GraphContext::new(g, x)
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gat = Gat::new(4, 5, 3, &mut rng);
+        let z = gat.forward(&ctx);
+        assert_eq!(z.shape(), (6, 3));
+        assert!(!z.has_non_finite());
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one_per_node() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gat = Gat::new(4, 5, 3, &mut rng);
+        let cache = gat.layer1.forward(&ctx, &ctx.features);
+        for v in 0..ctx.n_nodes() {
+            let sum: f64 = (ctx.att_ptr[v]..ctx.att_ptr[v + 1]).map(|e| cache.alpha[e]).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "attention of node {v} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let gat = Gat::new(4, 3, 2, &mut rng);
+        let coeff = Matrix::gaussian(6, 2, 0.0, 1.0, &mut rng);
+        let analytic = gat.backward(&ctx, &coeff);
+        let f = |p: &[f64]| {
+            let mut m = gat.clone();
+            m.set_params(p);
+            m.forward(&ctx).hadamard(&coeff).sum()
+        };
+        let numeric = central_difference(f, &gat.params(), 1e-5);
+        let err = max_relative_error(&analytic, &numeric, 1e-5);
+        assert!(err < 1e-3, "GAT gradient check failed: max relative error {err}");
+    }
+
+    #[test]
+    fn param_roundtrip_preserves_forward() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let gat = Gat::new(4, 5, 3, &mut rng);
+        let mut clone = gat.clone();
+        clone.set_params(&gat.params());
+        assert_eq!(gat.forward(&ctx).as_slice(), clone.forward(&ctx).as_slice());
+    }
+}

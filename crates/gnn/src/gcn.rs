@@ -1,0 +1,158 @@
+//! Two-layer graph convolutional network (Kipf & Welling, ICLR 2017).
+//!
+//! Forward pass: `Z = Â · ReLU(Â X W₁) · W₂` with the symmetric normalisation
+//! `Â = D̃^{-1/2}(A+I)D̃^{-1/2}` from the paper's preliminaries.
+
+use crate::{GnnModel, GraphContext};
+use ppfr_linalg::{relu, relu_grad, Matrix};
+use rand::Rng;
+
+/// Two-layer GCN with hidden width `hidden`.
+#[derive(Debug, Clone)]
+pub struct Gcn {
+    w1: Matrix,
+    w2: Matrix,
+    in_dim: usize,
+    hidden: usize,
+    n_classes: usize,
+}
+
+impl Gcn {
+    /// Glorot-initialised GCN.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, n_classes: usize, rng: &mut R) -> Self {
+        Self {
+            w1: Matrix::glorot(in_dim, hidden, rng),
+            w2: Matrix::glorot(hidden, n_classes, rng),
+            in_dim,
+            hidden,
+            n_classes,
+        }
+    }
+
+    fn forward_cached(&self, ctx: &GraphContext) -> (Matrix, Matrix, Matrix) {
+        // pre1 = Â X W1 ; h1 = ReLU(pre1) ; logits = Â h1 W2
+        let xw1 = ctx.features.matmul(&self.w1);
+        let pre1 = ctx.a_hat.matmul_dense(&xw1);
+        let h1 = relu(&pre1);
+        let h1w2 = h1.matmul(&self.w2);
+        let logits = ctx.a_hat.matmul_dense(&h1w2);
+        (pre1, h1, logits)
+    }
+}
+
+impl GnnModel for Gcn {
+    fn forward(&self, ctx: &GraphContext) -> Matrix {
+        self.forward_cached(ctx).2
+    }
+
+    fn backward(&self, ctx: &GraphContext, d_logits: &Matrix) -> Vec<f64> {
+        let (pre1, h1, _) = self.forward_cached(ctx);
+        // logits = Â (h1 W2): Â is symmetric, so d(h1 W2) = Â d_logits.
+        let d_h1w2 = ctx.a_hat.matmul_dense(d_logits);
+        let d_w2 = h1.transpose().matmul(&d_h1w2);
+        let d_h1 = d_h1w2.matmul(&self.w2.transpose());
+        let d_pre1 = relu_grad(&pre1, &d_h1);
+        // pre1 = Â (X W1): d(X W1) = Â d_pre1.
+        let d_xw1 = ctx.a_hat.matmul_dense(&d_pre1);
+        let d_w1 = ctx.features.transpose().matmul(&d_xw1);
+        let mut grads = d_w1.into_vec();
+        grads.extend(d_w2.into_vec());
+        grads
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = self.w1.as_slice().to_vec();
+        p.extend_from_slice(self.w2.as_slice());
+        p
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.n_params(), "parameter length mismatch");
+        let split = self.in_dim * self.hidden;
+        self.w1 = Matrix::from_vec(self.in_dim, self.hidden, params[..split].to_vec());
+        self.w2 = Matrix::from_vec(self.hidden, self.n_classes, params[split..].to_vec());
+    }
+
+    fn n_params(&self) -> usize {
+        self.in_dim * self.hidden + self.hidden * self.n_classes
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfr_graph::Graph;
+    use ppfr_nn::{central_difference, max_relative_error};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_ctx() -> GraphContext {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::gaussian(6, 4, 0.0, 1.0, &mut rng);
+        GraphContext::new(g, x)
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gcn = Gcn::new(4, 5, 3, &mut rng);
+        let z = gcn.forward(&ctx);
+        assert_eq!(z.shape(), (6, 3));
+        assert!(!z.has_non_finite());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gcn = Gcn::new(4, 5, 3, &mut rng);
+        // Scalar objective: f(θ) = sum(C ⊙ logits) for a fixed coefficient matrix C.
+        let coeff = Matrix::gaussian(6, 3, 0.0, 1.0, &mut rng);
+        let analytic = gcn.backward(&ctx, &coeff);
+        let f = |p: &[f64]| {
+            let mut m = gcn.clone();
+            m.set_params(p);
+            let z = m.forward(&ctx);
+            z.hadamard(&coeff).sum()
+        };
+        let numeric = central_difference(f, &gcn.params(), 1e-5);
+        let err = max_relative_error(&analytic, &numeric, 1e-6);
+        assert!(err < 1e-4, "gradient check failed: max relative error {err}");
+    }
+
+    #[test]
+    fn isolated_node_keeps_its_own_signal() {
+        // Node 2 is isolated: its logits depend only on its own features
+        // (through the self loop of Â), so changing node 0's features must
+        // not change node 2's output.
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let mut x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let gcn = Gcn::new(2, 3, 2, &mut rng);
+        let z1 = gcn.forward(&GraphContext::new(g.clone(), x.clone()));
+        x[(0, 0)] = 9.0;
+        let z2 = gcn.forward(&GraphContext::new(g, x));
+        for c in 0..2 {
+            assert!((z1[(2, c)] - z2[(2, c)]).abs() < 1e-12);
+        }
+        assert!((z1[(0, 0)] - z2[(0, 0)]).abs() > 1e-9, "node 0 must react to its own features");
+    }
+
+    #[test]
+    fn param_roundtrip_preserves_forward() {
+        let ctx = tiny_ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gcn = Gcn::new(4, 5, 3, &mut rng);
+        let mut clone = gcn.clone();
+        clone.set_params(&gcn.params());
+        let a = gcn.forward(&ctx);
+        let b = clone.forward(&ctx);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,219 @@
+//! A generic sparse matrix in compressed-sparse-row form.
+//!
+//! Used both for normalised adjacency operators (`Â`) and for the Jaccard
+//! similarity matrix `S` / its Laplacian `L_S`.
+
+use ppfr_linalg::Matrix;
+use rayon::prelude::*;
+
+/// Sparse matrix in CSR format with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes the entries of row `r`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets.  Duplicate cells
+    /// are summed; explicit zeros are kept (callers filter when they care).
+    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_rows];
+        for &(r, c, v) in triplets {
+            assert!(r < n_rows && c < n_cols, "triplet ({r},{c}) out of bounds");
+            per_row[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { n_rows, n_cols, row_ptr, col_idx, values }
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr: vec![0; n_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.row_ptr[r];
+        let end = self.row_ptr[r + 1];
+        self.col_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Value at `(r, c)` (zero when not stored).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r).find(|&(cc, _)| cc == c).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Iterator over every stored `(row, col, value)` triplet.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n_rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Sparse × dense product, parallelised over output rows.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.n_cols,
+            dense.rows(),
+            "spmm dimension mismatch: {}x{} * {}x{}",
+            self.n_rows,
+            self.n_cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.n_rows, cols);
+        out.as_mut_slice()
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                for (c, v) in self.row(r) {
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let d_row = dense.row(c);
+                    for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
+                        *o += v * d;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Transposed sparse × dense product (`selfᵀ * dense`) without building the
+    /// transpose explicitly.
+    pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.n_rows, dense.rows(), "spmmᵀ dimension mismatch");
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.n_cols, cols);
+        for r in 0..self.n_rows {
+            let d_row = dense.row(r);
+            for (c, v) in self.row(r) {
+                if v == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(c);
+                for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense matrix (tests / tiny graphs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.n_rows, self.n_cols);
+        for (r, c, v) in self.iter() {
+            out[(r, c)] += v;
+        }
+        out
+    }
+
+    /// Sum of all stored values in row `r`.
+    pub fn row_sum(&self, r: usize) -> f64 {
+        self.row(r).map(|(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        SparseMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero_values() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let m = sample();
+        let d = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let sparse_result = m.matmul_dense(&d);
+        let dense_result = m.to_dense().matmul(&d);
+        for (a, b) in sparse_result.as_slice().iter().zip(dense_result.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense() {
+        let m = sample();
+        let d = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let got = m.transpose_matmul_dense(&d);
+        let want = m.to_dense().transpose().matmul(&d);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_sum_counts_only_that_row() {
+        let m = sample();
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_sum(1), 0.0);
+        assert_eq!(m.row_sum(2), 7.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Influence functions of training nodes on GNN behaviour (§VI-A).
+//!
+//! Implements Eqs. (8)–(12) of the paper:
+//!
+//! * the influence of a training node on the parameters,
+//!   `I_θ(v) = H⁻¹ ∇_θ L(v)`, via Hessian-vector products (central finite
+//!   differences of the hand-derived gradient) and a damped conjugate-gradient
+//!   solver — the standard Koh & Liang recipe, no explicit Hessian is ever
+//!   materialised;
+//! * the influence of a training node on an *interested function* `f`
+//!   (utility, `f_bias`, `f_risk`): `I_f(w_v) = −∇_θ f(θ*)ᵀ H⁻¹ ∇_θ L(v)`,
+//!   computed with the adjoint trick (one CG solve per `f`, then one dot
+//!   product per node);
+//! * the Pearson correlation between `I_fbias` and `I_frisk` (Table II).
+
+mod engine;
+mod gradients;
+mod hvp;
+mod risk_grad;
+
+pub use engine::{compute_influences, influence_on, InfluenceConfig, InfluenceSet};
+pub use gradients::{
+    bias_grad_wrt_params, node_loss_grad, risk_grad_wrt_params, training_loss_grad,
+};
+pub use hvp::{conjugate_gradient, hessian_vector_product};
+pub use ppfr_linalg::pearson;
+pub use risk_grad::{sq_risk_gradient_wrt_probs, sq_risk_score};

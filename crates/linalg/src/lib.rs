@@ -1,0 +1,37 @@
+//! Dense linear-algebra kernels used throughout the PPFR stack.
+//!
+//! The crate deliberately keeps a small surface: a row-major [`Matrix`] of
+//! `f64` plus the handful of kernels a hand-written GNN needs (matmul,
+//! transpose, row-wise softmax, activations, reductions and random
+//! initialisation).  Everything is CPU-only and uses `rayon` for the two
+//! kernels that dominate training time (dense × dense and sparse-adjacency ×
+//! dense products live in `ppfr-graph`).
+
+mod matrix;
+mod ops;
+mod stats;
+
+pub use matrix::Matrix;
+pub use ops::{leaky_relu, leaky_relu_grad, relu, relu_grad, row_softmax, row_softmax_backward};
+pub use stats::{mean, pearson, std_dev, variance};
+
+/// Numerical tolerance used by tests and iterative solvers in downstream
+/// crates.  Kept here so every crate agrees on what "equal enough" means.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are equal within `tol` (absolute).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+}

@@ -1,0 +1,415 @@
+//! A small row-major dense matrix of `f64`.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix of `f64`.
+///
+/// This is the only tensor type in the PPFR stack.  Rows are node/sample
+/// indices, columns are feature/class indices.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested rows (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: n_rows, cols: n_cols, data }
+    }
+
+    /// Glorot/Xavier-style random initialisation used for GNN weights.
+    pub fn glorot<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (rows + cols) as f64).sqrt();
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.gen_range(-scale..scale);
+        }
+        m
+    }
+
+    /// Gaussian random matrix (used by synthetic feature generators).
+    pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut R) -> Self {
+        let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = dist.sample(rng);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `self * other`, parallelised over rows.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let oc = other.cols;
+        out.data
+            .par_chunks_mut(oc)
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                let a_row = self.row(r);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination with a closure.
+    pub fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// `self += other * s` without allocating.
+    pub fn add_scaled_inplace(&mut self, other: &Matrix, s: f64) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b * s;
+        }
+    }
+
+    /// Adds `row` (length `cols`) to every row of the matrix (bias add).
+    pub fn add_row_broadcast(&self, row: &[f64]) -> Matrix {
+        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(row.iter()) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Per-column sums (length `cols`).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Per-row sums (length `rows`).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|r| self.row(r).iter().sum()).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Index of the maximum entry in each row (`argmax`), used for predictions.
+    pub fn row_argmax(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Dot product between two rows of (possibly different) matrices.
+    pub fn row_dot(&self, r: usize, other: &Matrix, r_other: usize) -> f64 {
+        self.row(r)
+            .iter()
+            .zip(other.row(r_other).iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Returns `true` when any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::gaussian(4, 4, 0.0, 1.0, &mut rng);
+        let i = Matrix::eye(4);
+        let left = i.matmul(&a);
+        let right = a.matmul(&i);
+        for (x, y) in left.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        for (x, y) in right.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::gaussian(3, 5, 0.0, 1.0, &mut rng);
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn row_argmax_picks_largest_column() {
+        let a = Matrix::from_rows(&[vec![0.1, 0.9, 0.0], vec![2.0, -1.0, 1.0]]);
+        assert_eq!(a.row_argmax(), vec![1, 0]);
+    }
+
+    #[test]
+    fn col_and_row_sums() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.col_sums(), vec![4.0, 6.0]);
+        assert_eq!(a.row_sums(), vec![3.0, 7.0]);
+        assert_eq!(a.sum(), 10.0);
+    }
+
+    #[test]
+    fn glorot_values_bounded_by_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Matrix::glorot(10, 20, &mut rng);
+        let scale = (6.0_f64 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= scale));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_scaled_inplace_accumulates() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_scaled_inplace(&b, 0.5);
+        assert!(a.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+}

@@ -1,0 +1,151 @@
+//! Activation functions, row-wise softmax and their gradients.
+
+use crate::Matrix;
+
+/// Rectified linear unit applied element-wise.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// Gradient mask of ReLU evaluated at the pre-activation `pre`.
+pub fn relu_grad(pre: &Matrix, upstream: &Matrix) -> Matrix {
+    pre.zip_with(upstream, |p, u| if p > 0.0 { u } else { 0.0 })
+}
+
+/// Leaky ReLU with negative slope `alpha` (GAT uses `alpha = 0.2`).
+pub fn leaky_relu(v: f64, alpha: f64) -> f64 {
+    if v > 0.0 {
+        v
+    } else {
+        alpha * v
+    }
+}
+
+/// Derivative of the leaky ReLU at pre-activation `v`.
+pub fn leaky_relu_grad(v: f64, alpha: f64) -> f64 {
+    if v > 0.0 {
+        1.0
+    } else {
+        alpha
+    }
+}
+
+/// Numerically-stable row-wise softmax: each row of the result sums to one.
+pub fn row_softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Back-propagates a gradient w.r.t. softmax probabilities `d_probs` to a
+/// gradient w.r.t. the logits, given the probabilities `probs` themselves.
+///
+/// For each row: `dZ_c = P_c * (dP_c - sum_k dP_k * P_k)`.
+pub fn row_softmax_backward(probs: &Matrix, d_probs: &Matrix) -> Matrix {
+    assert_eq!(probs.shape(), d_probs.shape(), "shape mismatch");
+    let mut out = Matrix::zeros(probs.rows(), probs.cols());
+    for r in 0..probs.rows() {
+        let p = probs.row(r);
+        let dp = d_probs.row(r);
+        let inner: f64 = p.iter().zip(dp.iter()).map(|(&pi, &di)| pi * di).sum();
+        for c in 0..probs.cols() {
+            out[(r, c)] = p[c] * (dp[c] - inner);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn relu_zeroes_negative_entries() {
+        let m = Matrix::from_rows(&[vec![-1.0, 2.0], vec![0.0, -3.0]]);
+        let r = relu(&m);
+        assert_eq!(r.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_grad_masks_by_preactivation() {
+        let pre = Matrix::from_rows(&[vec![-1.0, 2.0]]);
+        let up = Matrix::from_rows(&[vec![5.0, 5.0]]);
+        let g = relu_grad(&pre, &up);
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn leaky_relu_and_grad() {
+        assert_eq!(leaky_relu(2.0, 0.2), 2.0);
+        assert_eq!(leaky_relu(-2.0, 0.2), -0.4);
+        assert_eq!(leaky_relu_grad(2.0, 0.2), 1.0);
+        assert_eq!(leaky_relu_grad(-2.0, 0.2), 0.2);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = row_softmax(&m);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[vec![101.0, 102.0, 103.0]]);
+        let pa = row_softmax(&a);
+        let pb = row_softmax(&b);
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!(approx_eq(*x, *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[vec![0.3, -0.7, 1.2]]);
+        // Arbitrary smooth function of the probabilities: f(P) = sum c_i * P_i^2
+        let coeff = [0.5, -1.5, 2.0];
+        let f = |z: &Matrix| -> f64 {
+            let p = row_softmax(z);
+            p.row(0).iter().zip(coeff.iter()).map(|(&pi, &ci)| ci * pi * pi).sum()
+        };
+        let probs = row_softmax(&logits);
+        let d_probs = Matrix::from_rows(&[probs
+            .row(0)
+            .iter()
+            .zip(coeff.iter())
+            .map(|(&pi, &ci)| 2.0 * ci * pi)
+            .collect::<Vec<_>>()]);
+        let analytic = row_softmax_backward(&probs, &d_probs);
+        let h = 1e-6;
+        for c in 0..3 {
+            let mut plus = logits.clone();
+            plus[(0, c)] += h;
+            let mut minus = logits.clone();
+            minus[(0, c)] -= h;
+            let numeric = (f(&plus) - f(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - analytic[(0, c)]).abs() < 1e-6,
+                "col {c}: numeric {numeric} vs analytic {}",
+                analytic[(0, c)]
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Neural-network primitives shared by every GNN in the workspace:
+//! the weighted softmax-cross-entropy loss of Eq. (6)/(7), the Adam and SGD
+//! optimisers, and finite-difference gradient-check helpers used by tests.
+
+mod gradcheck;
+mod loss;
+mod optim;
+
+pub use gradcheck::{central_difference, max_relative_error};
+pub use loss::{accuracy, weighted_cross_entropy, CrossEntropy};
+pub use optim::{Adam, Optimizer, Sgd};

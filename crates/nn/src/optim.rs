@@ -1,0 +1,147 @@
+//! First-order optimisers operating on flat parameter vectors.
+
+/// A first-order optimiser over a flat `Vec<f64>` parameter vector.
+pub trait Optimizer {
+    /// Applies one update `params ← params − step(grads)`.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Resets any internal state (moment estimates, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f64,
+}
+
+impl Sgd {
+    /// New SGD optimiser.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, &g) in params.iter_mut().zip(grads.iter()) {
+            *p -= self.lr * (g + self.weight_decay * *p);
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Adam optimiser (Kingma & Ba) with the standard bias correction, the
+/// optimiser used for every GNN in the paper's experimental setup.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// New Adam optimiser with the usual defaults (β₁=0.9, β₂=0.999).
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 5e-4, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Builder-style override of the weight decay.
+    pub fn with_weight_decay(mut self, wd: f64) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)² with each optimiser and check convergence.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = vec![10.0];
+        for _ in 0..steps {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = minimise(&mut sgd, 200);
+        assert!((x - 3.0).abs() < 1e-6, "SGD failed to converge: {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.2).with_weight_decay(0.0);
+        let x = minimise(&mut adam, 500);
+        assert!((x - 3.0).abs() < 1e-3, "Adam failed to converge: {x}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_parameters_towards_zero() {
+        let mut sgd = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let mut x = vec![1.0];
+        for _ in 0..100 {
+            sgd.step(&mut x, &[0.0]);
+        }
+        assert!(x[0].abs() < 1e-2, "weight decay should shrink parameters, got {}", x[0]);
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut adam = Adam::new(0.1);
+        let mut x = vec![1.0, 2.0];
+        adam.step(&mut x, &[0.1, 0.1]);
+        assert_eq!(adam.m.len(), 2);
+        adam.reset();
+        assert!(adam.m.is_empty());
+        assert_eq!(adam.t, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Black-box link-stealing attack (Attack-0 of He et al., USENIX Security'21).
+//!
+//! The attacker queries the target GNN once per node, computes a distance
+//! between the prediction vectors of a node pair and infers "connected" when
+//! the distance is small.  The paper measures edge-privacy risk as the AUC of
+//! this attack, averaged over eight distance metrics; the unsupervised 2-means
+//! clustering variant described in §IV is also provided.
+
+use crate::{pairwise_distance, DistanceKind};
+use ppfr_graph::Graph;
+use ppfr_linalg::Matrix;
+use rand::Rng;
+
+/// A balanced sample of node pairs used to evaluate the attack:
+/// every training-graph edge as positives plus an equal number of sampled
+/// unconnected pairs as negatives.
+#[derive(Debug, Clone)]
+pub struct PairSample {
+    /// Connected node pairs (positives).
+    pub positives: Vec<(usize, usize)>,
+    /// Unconnected node pairs (negatives).
+    pub negatives: Vec<(usize, usize)>,
+}
+
+impl PairSample {
+    /// Builds the balanced sample from the *original* (pre-perturbation)
+    /// graph — the attacker targets the confidential edges of the training
+    /// data, not whatever noisy structure a defence exposes.
+    pub fn balanced<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
+        let positives: Vec<(usize, usize)> = graph.edges().collect();
+        let n = graph.n_nodes();
+        let target = positives.len();
+        let mut negatives = Vec::with_capacity(target);
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(50).max(1000);
+        while negatives.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || graph.has_edge(u, v) {
+                continue;
+            }
+            negatives.push((u.min(v), u.max(v)));
+        }
+        Self { positives, negatives }
+    }
+
+    /// Total number of sampled pairs.
+    pub fn len(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+
+    /// True when no pairs were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn pair_distances(probs: &Matrix, pairs: &[(usize, usize)], kind: DistanceKind) -> Vec<f64> {
+    pairs
+        .iter()
+        .map(|&(u, v)| pairwise_distance(kind, probs.row(u), probs.row(v)))
+        .collect()
+}
+
+/// Area under the ROC curve of the score "negative distance" for separating
+/// connected from unconnected pairs.  0.5 ⇒ no leakage, 1.0 ⇒ the attacker
+/// recovers every edge.
+pub fn attack_auc(probs: &Matrix, sample: &PairSample, kind: DistanceKind) -> f64 {
+    let pos = pair_distances(probs, &sample.positives, kind);
+    let neg = pair_distances(probs, &sample.negatives, kind);
+    auc_from_distances(&pos, &neg)
+}
+
+/// AUC computed directly from distance samples of connected (`pos`) and
+/// unconnected (`neg`) pairs.  A positive "wins" when its distance is smaller.
+pub fn auc_from_distances(pos: &[f64], neg: &[f64]) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in pos {
+        for &q in neg {
+            if p < q {
+                wins += 1.0;
+            } else if (p - q).abs() <= f64::EPSILON {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// Attack AUC for each of the eight distance metrics (the series of Fig. 4).
+pub fn auc_per_distance(probs: &Matrix, sample: &PairSample) -> Vec<(DistanceKind, f64)> {
+    DistanceKind::ALL
+        .iter()
+        .map(|&kind| (kind, attack_auc(probs, sample, kind)))
+        .collect()
+}
+
+/// Mean attack AUC over the eight distances — the scalar privacy-risk value
+/// used in Tables IV and V.
+pub fn average_attack_auc(probs: &Matrix, sample: &PairSample) -> f64 {
+    let per = auc_per_distance(probs, sample);
+    per.iter().map(|(_, auc)| auc).sum::<f64>() / per.len() as f64
+}
+
+/// Result of the unsupervised clustering attack.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterAttackOutcome {
+    /// Fraction of pairs classified correctly.
+    pub accuracy: f64,
+    /// Precision on the "connected" class.
+    pub precision: f64,
+    /// Recall on the "connected" class.
+    pub recall: f64,
+    /// F1 on the "connected" class.
+    pub f1: f64,
+}
+
+/// The unsupervised attack variant of §IV: 2-means clustering of the pair
+/// distances; the cluster with the smaller centroid is predicted "connected".
+pub fn cluster_attack(probs: &Matrix, sample: &PairSample, kind: DistanceKind) -> ClusterAttackOutcome {
+    let pos = pair_distances(probs, &sample.positives, kind);
+    let neg = pair_distances(probs, &sample.negatives, kind);
+    let mut all: Vec<(f64, bool)> = pos
+        .iter()
+        .map(|&d| (d, true))
+        .chain(neg.iter().map(|&d| (d, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    if all.is_empty() {
+        return ClusterAttackOutcome { accuracy: 0.0, precision: 0.0, recall: 0.0, f1: 0.0 };
+    }
+    // 1-D 2-means via Lloyd iterations on the sorted distances.
+    let mut c_low = all.first().unwrap().0;
+    let mut c_high = all.last().unwrap().0;
+    for _ in 0..50 {
+        let threshold = (c_low + c_high) / 2.0;
+        let (mut sum_low, mut n_low, mut sum_high, mut n_high) = (0.0, 0usize, 0.0, 0usize);
+        for &(d, _) in &all {
+            if d <= threshold {
+                sum_low += d;
+                n_low += 1;
+            } else {
+                sum_high += d;
+                n_high += 1;
+            }
+        }
+        if n_low == 0 || n_high == 0 {
+            break;
+        }
+        let new_low = sum_low / n_low as f64;
+        let new_high = sum_high / n_high as f64;
+        if (new_low - c_low).abs() < 1e-12 && (new_high - c_high).abs() < 1e-12 {
+            break;
+        }
+        c_low = new_low;
+        c_high = new_high;
+    }
+    let threshold = (c_low + c_high) / 2.0;
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut tn = 0usize;
+    let mut fn_ = 0usize;
+    for &(d, connected) in &all {
+        let predicted = d <= threshold;
+        match (predicted, connected) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, false) => tn += 1,
+            (false, true) => fn_ += 1,
+        }
+    }
+    let accuracy = (tp + tn) as f64 / all.len() as f64;
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    ClusterAttackOutcome { accuracy, precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A graph whose two communities get visibly different predictions, so
+    /// the attack should succeed; plus shared helper probabilities.
+    fn separable_setup() -> (Graph, Matrix, PairSample) {
+        // Two 4-cliques joined by a single bridge edge.
+        let mut edges = Vec::new();
+        for block in 0..2 {
+            let base = block * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 4));
+        let g = Graph::from_edges(8, &edges);
+        let mut probs = Matrix::zeros(8, 2);
+        for v in 0..8 {
+            // Small per-node wiggle keeps pairs distinguishable.
+            let wiggle = v as f64 * 0.01;
+            if v < 4 {
+                probs[(v, 0)] = 0.9 - wiggle;
+                probs[(v, 1)] = 0.1 + wiggle;
+            } else {
+                probs[(v, 0)] = 0.1 + wiggle;
+                probs[(v, 1)] = 0.9 - wiggle;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = PairSample::balanced(&g, &mut rng);
+        (g, probs, sample)
+    }
+
+    #[test]
+    fn auc_from_distances_handles_perfect_and_random_cases() {
+        assert_eq!(auc_from_distances(&[0.1, 0.2], &[0.9, 0.8]), 1.0);
+        assert_eq!(auc_from_distances(&[0.9, 0.8], &[0.1, 0.2]), 0.0);
+        assert_eq!(auc_from_distances(&[0.5], &[0.5]), 0.5);
+        assert_eq!(auc_from_distances(&[], &[0.5]), 0.5);
+    }
+
+    #[test]
+    fn balanced_sample_is_balanced_and_disjoint() {
+        let (g, _, sample) = separable_setup();
+        assert_eq!(sample.positives.len(), g.n_edges());
+        assert!(sample.negatives.len() <= sample.positives.len());
+        for &(u, v) in &sample.negatives {
+            assert!(!g.has_edge(u, v), "negative pair ({u},{v}) is actually an edge");
+        }
+    }
+
+    #[test]
+    fn community_predictions_leak_edges() {
+        let (_, probs, sample) = separable_setup();
+        for kind in DistanceKind::ALL {
+            let auc = attack_auc(&probs, &sample, kind);
+            assert!(auc > 0.6, "{}: expected leakage, AUC {auc}", kind.name());
+        }
+        let avg = average_attack_auc(&probs, &sample);
+        assert!(avg > 0.7, "average AUC {avg}");
+    }
+
+    #[test]
+    fn uniform_predictions_do_not_leak() {
+        let (_, _, sample) = separable_setup();
+        let probs = Matrix::filled(8, 2, 0.5);
+        let avg = average_attack_auc(&probs, &sample);
+        assert!((avg - 0.5).abs() < 0.05, "no information ⇒ AUC ≈ 0.5, got {avg}");
+    }
+
+    #[test]
+    fn cluster_attack_beats_chance_on_separable_predictions() {
+        let (_, probs, sample) = separable_setup();
+        let outcome = cluster_attack(&probs, &sample, DistanceKind::Euclidean);
+        assert!(outcome.accuracy > 0.6, "accuracy {}", outcome.accuracy);
+        assert!(outcome.f1 > 0.6, "f1 {}", outcome.f1);
+    }
+
+    #[test]
+    fn tighter_predictions_reduce_auc() {
+        // Shrinking the gap between the two communities' predictions lowers risk.
+        let (_, probs, sample) = separable_setup();
+        let shrunk = probs.map(|v| 0.5 + (v - 0.5) * 0.05);
+        let sharp = average_attack_auc(&probs, &sample);
+        let blur = average_attack_auc(&shrunk, &sample);
+        assert!(sharp >= blur, "shrinking prediction gaps must not increase AUC: {sharp} vs {blur}");
+    }
+}

@@ -1,0 +1,178 @@
+//! The eight pairwise distances used by the link-stealing attack evaluation.
+
+/// Distance functions between two prediction (probability) vectors, matching
+/// the set used by He et al. and by the paper's Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// `1 − cos(a, b)`.
+    Cosine,
+    /// `‖a − b‖₂`.
+    Euclidean,
+    /// `1 − corr(a, b)` (Pearson correlation distance).
+    Correlation,
+    /// `max_i |a_i − b_i|`.
+    Chebyshev,
+    /// `Σ|a_i − b_i| / Σ|a_i + b_i|`.
+    Braycurtis,
+    /// `Σ |a_i − b_i| / (|a_i| + |b_i|)`.
+    Canberra,
+    /// `Σ |a_i − b_i|` (Manhattan).
+    Cityblock,
+    /// `‖a − b‖₂²`.
+    Sqeuclidean,
+}
+
+impl DistanceKind {
+    /// The eight distances, in the order the paper lists them.
+    pub const ALL: [DistanceKind; 8] = [
+        DistanceKind::Cosine,
+        DistanceKind::Euclidean,
+        DistanceKind::Correlation,
+        DistanceKind::Chebyshev,
+        DistanceKind::Braycurtis,
+        DistanceKind::Canberra,
+        DistanceKind::Cityblock,
+        DistanceKind::Sqeuclidean,
+    ];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceKind::Cosine => "cosine",
+            DistanceKind::Euclidean => "euclidean",
+            DistanceKind::Correlation => "correlation",
+            DistanceKind::Chebyshev => "chebyshev",
+            DistanceKind::Braycurtis => "braycurtis",
+            DistanceKind::Canberra => "canberra",
+            DistanceKind::Cityblock => "cityblock",
+            DistanceKind::Sqeuclidean => "sqeuclidean",
+        }
+    }
+}
+
+/// Distance between two vectors under the chosen metric.
+///
+/// All metrics return 0 for identical vectors and grow as the vectors become
+/// less alike, so "smaller distance ⇒ more likely connected" holds uniformly.
+pub fn pairwise_distance(kind: DistanceKind, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal-length vectors");
+    match kind {
+        DistanceKind::Cosine => {
+            let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+            let na: f64 = a.iter().map(|&x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = b.iter().map(|&x| x * x).sum::<f64>().sqrt();
+            if na == 0.0 || nb == 0.0 {
+                return 1.0;
+            }
+            1.0 - dot / (na * nb)
+        }
+        DistanceKind::Euclidean => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt(),
+        DistanceKind::Correlation => {
+            let ma = a.iter().sum::<f64>() / a.len() as f64;
+            let mb = b.iter().sum::<f64>() / b.len() as f64;
+            let mut cov = 0.0;
+            let mut va = 0.0;
+            let mut vb = 0.0;
+            for (&x, &y) in a.iter().zip(b) {
+                cov += (x - ma) * (y - mb);
+                va += (x - ma) * (x - ma);
+                vb += (y - mb) * (y - mb);
+            }
+            if va <= f64::EPSILON || vb <= f64::EPSILON {
+                return 1.0;
+            }
+            1.0 - cov / (va.sqrt() * vb.sqrt())
+        }
+        DistanceKind::Chebyshev => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f64::max),
+        DistanceKind::Braycurtis => {
+            let num: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum();
+            let den: f64 = a.iter().zip(b).map(|(&x, &y)| (x + y).abs()).sum();
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
+        }
+        DistanceKind::Canberra => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let den = x.abs() + y.abs();
+                if den == 0.0 {
+                    0.0
+                } else {
+                    (x - y).abs() / den
+                }
+            })
+            .sum(),
+        DistanceKind::Cityblock => a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum(),
+        DistanceKind::Sqeuclidean => a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [0.7, 0.2, 0.1];
+    const B: [f64; 3] = [0.1, 0.3, 0.6];
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        for kind in DistanceKind::ALL {
+            let d = pairwise_distance(kind, &A, &A);
+            assert!(d.abs() < 1e-12, "{}: d(a,a) = {d}", kind.name());
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        for kind in DistanceKind::ALL {
+            let d1 = pairwise_distance(kind, &A, &B);
+            let d2 = pairwise_distance(kind, &B, &A);
+            assert!((d1 - d2).abs() < 1e-12, "{} not symmetric", kind.name());
+        }
+    }
+
+    #[test]
+    fn distances_are_positive_for_distinct_vectors() {
+        for kind in DistanceKind::ALL {
+            let d = pairwise_distance(kind, &A, &B);
+            assert!(d > 0.0, "{}: expected positive distance, got {d}", kind.name());
+        }
+    }
+
+    #[test]
+    fn known_values_match_hand_computation() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((pairwise_distance(DistanceKind::Euclidean, &a, &b) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((pairwise_distance(DistanceKind::Sqeuclidean, &a, &b) - 2.0).abs() < 1e-12);
+        assert!((pairwise_distance(DistanceKind::Cityblock, &a, &b) - 2.0).abs() < 1e-12);
+        assert!((pairwise_distance(DistanceKind::Chebyshev, &a, &b) - 1.0).abs() < 1e-12);
+        assert!((pairwise_distance(DistanceKind::Cosine, &a, &b) - 1.0).abs() < 1e-12);
+        assert!((pairwise_distance(DistanceKind::Braycurtis, &a, &b) - 1.0).abs() < 1e-12);
+        assert!((pairwise_distance(DistanceKind::Canberra, &a, &b) - 2.0).abs() < 1e-12);
+        // Perfectly anti-correlated vectors have correlation distance 2.
+        assert!((pairwise_distance(DistanceKind::Correlation, &a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_vectors_do_not_produce_nan() {
+        let zero = [0.0, 0.0, 0.0];
+        let constant = [0.5, 0.5, 0.5];
+        for kind in DistanceKind::ALL {
+            let d = pairwise_distance(kind, &zero, &constant);
+            assert!(d.is_finite(), "{} produced a non-finite value", kind.name());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Edge-privacy attacks, risk metrics and defences.
+//!
+//! * [`distance`] — the eight pairwise distances the paper's attack evaluation
+//!   uses (cosine, euclidean, correlation, chebyshev, braycurtis, canberra,
+//!   cityblock, sqeuclidean);
+//! * [`attack`] — the black-box link-stealing attack (Attack-0 of He et al.)
+//!   scored by AUC, plus the unsupervised 2-means clustering variant;
+//! * [`risk`] — `f_risk` of Definition 2 and its normalised form from §VI-B1;
+//! * [`dp`] — the edge differential-privacy defences EdgeRand and LapGraph
+//!   (Wu et al., IEEE S&P 2022) used by the DPReg / DPFR baselines;
+//! * [`risk_model`] — the closed-form edge-sensitivity model of Eq. (20).
+
+pub mod attack;
+pub mod distance;
+pub mod dp;
+pub mod risk;
+pub mod risk_model;
+
+pub use attack::{
+    attack_auc, auc_from_distances, auc_per_distance, average_attack_auc, cluster_attack,
+    ClusterAttackOutcome, PairSample,
+};
+pub use distance::{pairwise_distance, DistanceKind};
+pub use dp::{edge_rand, lap_graph};
+pub use risk::{prediction_distance_gap, risk_score};
+pub use risk_model::{edge_sensitivity, EdgeSensitivityInputs};

@@ -1,0 +1,24 @@
+//! Projected-gradient solver for the quadratically constrained linear program
+//! (QCLP) of the fairness-aware re-weighting (Eq. 13 of the paper).
+//!
+//! The program is
+//!
+//! ```text
+//! min_w   Σ_v w_v a_v                       (a_v = I_fbias(w_v))
+//! s.t.    Σ_v w_v²            ≤ α |V_l|      (re-weighting budget)
+//!         Σ_v w_v b_v         ≤ β Σ_v b_v⁺   (bounded utility cost, b_v = I_futil(w_v))
+//!         −1 ≤ w_v ≤ 1
+//! ```
+//!
+//! The paper solves it with Gurobi; Gurobi is proprietary and unavailable
+//! offline, so this crate implements projected gradient descent with cyclic
+//! projections onto the three convex constraint sets (box, ℓ₂ ball,
+//! half-space).  The objective is linear and the feasible set is convex and
+//! compact, so projected gradient descent converges to the global optimum;
+//! the analytic tests below verify it against hand-solvable instances.
+
+mod projections;
+mod solver;
+
+pub use projections::{project_box, project_halfspace, project_l2_ball};
+pub use solver::{solve, QclpProblem, QclpSolution, SolverOptions};

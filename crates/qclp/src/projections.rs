@@ -1,0 +1,82 @@
+//! Euclidean projections onto the three constraint sets of the QCLP.
+
+/// Projects `w` onto the box `[lo, hi]^n` in place.
+pub fn project_box(w: &mut [f64], lo: f64, hi: f64) {
+    for v in w.iter_mut() {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Projects `w` onto the ℓ₂ ball `{x : ‖x‖² ≤ radius_sq}` in place.
+pub fn project_l2_ball(w: &mut [f64], radius_sq: f64) {
+    assert!(radius_sq >= 0.0, "squared radius must be non-negative");
+    let norm_sq: f64 = w.iter().map(|v| v * v).sum();
+    if norm_sq > radius_sq && norm_sq > 0.0 {
+        let scale = (radius_sq / norm_sq).sqrt();
+        for v in w.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+/// Projects `w` onto the half-space `{x : aᵀx ≤ c}` in place.
+pub fn project_halfspace(w: &mut [f64], a: &[f64], c: f64) {
+    assert_eq!(w.len(), a.len());
+    let dot: f64 = w.iter().zip(a).map(|(&x, &y)| x * y).sum();
+    if dot <= c {
+        return;
+    }
+    let norm_sq: f64 = a.iter().map(|v| v * v).sum();
+    if norm_sq <= f64::EPSILON {
+        return;
+    }
+    let t = (dot - c) / norm_sq;
+    for (x, &ai) in w.iter_mut().zip(a) {
+        *x -= t * ai;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_projection_clamps() {
+        let mut w = vec![-2.0, 0.3, 1.7];
+        project_box(&mut w, -1.0, 1.0);
+        assert_eq!(w, vec![-1.0, 0.3, 1.0]);
+    }
+
+    #[test]
+    fn ball_projection_scales_only_when_outside() {
+        let mut inside = vec![0.3, 0.4];
+        project_l2_ball(&mut inside, 1.0);
+        assert_eq!(inside, vec![0.3, 0.4]);
+        let mut outside = vec![3.0, 4.0];
+        project_l2_ball(&mut outside, 1.0);
+        let norm: f64 = outside.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((outside[1] / outside[0] - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfspace_projection_moves_to_the_boundary() {
+        let a = vec![1.0, 1.0];
+        let mut w = vec![2.0, 2.0];
+        project_halfspace(&mut w, &a, 1.0);
+        let dot: f64 = w.iter().zip(&a).map(|(&x, &y)| x * y).sum();
+        assert!((dot - 1.0).abs() < 1e-12, "projected point must lie on the boundary");
+        // Feasible points are untouched.
+        let mut feasible = vec![-1.0, 0.5];
+        project_halfspace(&mut feasible, &a, 1.0);
+        assert_eq!(feasible, vec![-1.0, 0.5]);
+    }
+
+    #[test]
+    fn halfspace_with_zero_normal_is_a_noop() {
+        let mut w = vec![5.0, -5.0];
+        project_halfspace(&mut w, &[0.0, 0.0], -1.0);
+        assert_eq!(w, vec![5.0, -5.0]);
+    }
+}

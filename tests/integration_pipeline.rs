@@ -1,0 +1,115 @@
+//! End-to-end integration tests spanning every crate: dataset generation →
+//! GNN training → fairness/privacy evaluation → PPFR pipeline → Δ metrics.
+
+use ppfr_core::{deltas, evaluate, run_method, Method, PpfrConfig};
+use ppfr_datasets::{generate, two_block_synthetic};
+use ppfr_gnn::{GnnModel, ModelKind};
+
+fn fast_cfg() -> PpfrConfig {
+    PpfrConfig { vanilla_epochs: 60, influence_cg_iters: 8, ..PpfrConfig::smoke() }
+}
+
+#[test]
+fn full_pipeline_runs_for_every_model_and_method() {
+    let dataset = generate(&two_block_synthetic(), 71);
+    let cfg = fast_cfg();
+    for kind in ModelKind::ALL {
+        let vanilla = run_method(&dataset, kind, Method::Vanilla, &cfg);
+        let reference = evaluate(&vanilla, &dataset, &cfg);
+        assert!(
+            reference.accuracy > 0.6,
+            "{}: vanilla accuracy {} too low to interpret the other metrics",
+            kind.name(),
+            reference.accuracy
+        );
+        for method in Method::COMPARED {
+            let outcome = run_method(&dataset, kind, method, &cfg);
+            let eval = evaluate(&outcome, &dataset, &cfg);
+            let d = deltas(&reference, &eval);
+            assert!(eval.accuracy.is_finite() && eval.bias.is_finite() && eval.risk_auc.is_finite());
+            assert!(
+                d.delta.is_finite(),
+                "{} / {}: Δ metric must be finite",
+                kind.name(),
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ppfr_reduces_bias_relative_to_vanilla() {
+    let dataset = generate(&two_block_synthetic(), 72);
+    let cfg = fast_cfg();
+    let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
+    let ppfr = run_method(&dataset, ModelKind::Gcn, Method::Ppfr, &cfg);
+    let reference = evaluate(&vanilla, &dataset, &cfg);
+    let ours = evaluate(&ppfr, &dataset, &cfg);
+    assert!(
+        ours.bias < reference.bias,
+        "PPFR fine-tuning must reduce the InFoRM bias: {} vs vanilla {}",
+        ours.bias,
+        reference.bias
+    );
+}
+
+#[test]
+fn ppfr_controls_risk_better_than_reg() {
+    // The central claim of RQ2: PPFR restrains the privacy-risk increase that
+    // the pure fairness regulariser causes.
+    let dataset = generate(&two_block_synthetic(), 73);
+    let cfg = fast_cfg();
+    let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
+    let reg = run_method(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
+    let ppfr = run_method(&dataset, ModelKind::Gcn, Method::Ppfr, &cfg);
+    let e_vanilla = evaluate(&vanilla, &dataset, &cfg);
+    let e_reg = evaluate(&reg, &dataset, &cfg);
+    let e_ppfr = evaluate(&ppfr, &dataset, &cfg);
+    assert!(
+        e_ppfr.risk_auc <= e_reg.risk_auc + 0.02,
+        "PPFR risk (AUC {:.4}) should not exceed the Reg baseline's (AUC {:.4})",
+        e_ppfr.risk_auc,
+        e_reg.risk_auc
+    );
+    // And it must stay a usable classifier.
+    assert!(
+        e_ppfr.accuracy > 0.6 * e_vanilla.accuracy,
+        "PPFR accuracy collapsed: {} vs vanilla {}",
+        e_ppfr.accuracy,
+        e_vanilla.accuracy
+    );
+}
+
+#[test]
+fn perturbed_deployment_graphs_do_not_leak_into_the_attack_sample() {
+    // The attack is always evaluated against the original confidential edges,
+    // not against whatever noisy graph a defence deploys.
+    let dataset = generate(&two_block_synthetic(), 74);
+    let cfg = fast_cfg();
+    let ppfr = run_method(&dataset, ModelKind::Gcn, Method::Ppfr, &cfg);
+    assert!(ppfr.deploy_ctx.graph.n_edges() > dataset.graph.n_edges());
+    let sample = ppfr_core::attack_sample(&dataset, &cfg);
+    for &(u, v) in &sample.positives {
+        assert!(dataset.graph.has_edge(u, v), "positive pair must be an original edge");
+    }
+    for &(u, v) in &sample.negatives {
+        assert!(!dataset.graph.has_edge(u, v), "negative pair must not be an original edge");
+    }
+}
+
+#[test]
+fn trained_outcome_predictions_are_valid_probability_rows() {
+    let dataset = generate(&two_block_synthetic(), 75);
+    let cfg = fast_cfg();
+    for method in [Method::Vanilla, Method::Ppfr] {
+        let outcome = run_method(&dataset, ModelKind::GraphSage, method, &cfg);
+        let probs = ppfr_core::predictions(&outcome, &cfg);
+        assert_eq!(probs.rows(), dataset.n_nodes());
+        assert_eq!(probs.cols(), outcome.model.n_classes());
+        for r in 0..probs.rows() {
+            let sum: f64 = probs.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+            assert!(probs.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}
