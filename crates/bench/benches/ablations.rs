@@ -2,7 +2,6 @@
 //! heterophilic PP noise vs edge-DP noise of the same magnitude, and the
 //! QCLP re-weighting vs a naive top-k node-deletion scheme.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppfr_core::{attack_sample, fairness_weights, heterophilic_perturbation, predictions};
 use ppfr_core::{run_method, Method, PpfrConfig};
@@ -12,6 +11,7 @@ use ppfr_graph::{jaccard_similarity, similarity_laplacian};
 use ppfr_privacy::{average_attack_auc, edge_rand, PairSample};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 /// PP vs DP: apply the same number of noisy edges via the heterophilic
 /// strategy and via randomised response, fine-tune and compare the attack AUC.
@@ -106,7 +106,11 @@ fn bench_qclp_vs_topk(c: &mut Criterion) {
                 &cfg,
             );
             let mut order: Vec<usize> = (0..fr.influences.bias.len()).collect();
-            order.sort_by(|&a, &b| fr.influences.bias[a].partial_cmp(&fr.influences.bias[b]).unwrap());
+            order.sort_by(|&a, &b| {
+                fr.influences.bias[a]
+                    .partial_cmp(&fr.influences.bias[b])
+                    .unwrap()
+            });
             let k = order.len() / 5;
             let mut weights = vec![1.0; order.len()];
             for &idx in order.iter().take(k) {

@@ -1,12 +1,12 @@
 //! End-to-end benchmarks, one group per figure of the paper, at smoke scale.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppfr_core::experiments::{fig6_ablation, scaled_spec};
 use ppfr_core::{attack_sample, predictions, run_method, ExperimentScale, Method, PpfrConfig};
 use ppfr_datasets::{cora, generate};
 use ppfr_gnn::ModelKind;
 use ppfr_privacy::auc_per_distance;
+use std::time::Duration;
 
 fn bench_fig4(c: &mut Criterion) {
     // Fig. 4 kernel: the eight-distance attack sweep against one model.
@@ -20,7 +20,9 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    group.bench_function("auc_per_distance_reg_gcn", |b| b.iter(|| auc_per_distance(&probs, &sample)));
+    group.bench_function("auc_per_distance_reg_gcn", |b| {
+        b.iter(|| auc_per_distance(&probs, &sample))
+    });
     group.finish();
 }
 

@@ -2,7 +2,6 @@
 //! Jaccard similarity, link-stealing AUC, Hessian-vector products and the
 //! QCLP solver.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ppfr_core::attack_sample;
 use ppfr_core::PpfrConfig;
@@ -13,6 +12,7 @@ use ppfr_influence::hessian_vector_product;
 use ppfr_linalg::{row_softmax, Matrix};
 use ppfr_privacy::average_attack_auc;
 use ppfr_qclp::{solve, QclpProblem, SolverOptions};
+use std::time::Duration;
 
 fn bench_model_passes(c: &mut Criterion) {
     let ds = generate(&cora(), 7);
@@ -40,7 +40,9 @@ fn bench_graph_kernels(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    group.bench_function("jaccard_similarity_cora", |b| b.iter(|| jaccard_similarity(&ds.graph)));
+    group.bench_function("jaccard_similarity_cora", |b| {
+        b.iter(|| jaccard_similarity(&ds.graph))
+    });
     let a_hat = ds.graph.normalized_adjacency();
     group.bench_function("spmm_cora", |b| b.iter(|| a_hat.matmul_dense(&ds.features)));
     group.finish();
@@ -79,8 +81,12 @@ fn bench_influence_and_qclp(c: &mut Criterion) {
     });
     let n = 200;
     let problem = QclpProblem {
-        bias_influence: (0..n).map(|i| ((i * 31 % 17) as f64 - 8.0) / 10.0).collect(),
-        util_influence: (0..n).map(|i| ((i * 13 % 23) as f64 - 11.0) / 10.0).collect(),
+        bias_influence: (0..n)
+            .map(|i| ((i * 31 % 17) as f64 - 8.0) / 10.0)
+            .collect(),
+        util_influence: (0..n)
+            .map(|i| ((i * 13 % 23) as f64 - 11.0) / 10.0)
+            .collect(),
         alpha: 0.9,
         beta: 0.1,
     };

@@ -2,7 +2,6 @@
 //! (the full-scale numbers are produced by the `exp_table*` binaries and
 //! recorded in EXPERIMENTS.md).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ppfr_core::experiments::scaled_spec;
 use ppfr_core::{attack_sample, run_method, ExperimentScale, Method, PpfrConfig};
@@ -10,6 +9,7 @@ use ppfr_datasets::{cora, enzymes, generate};
 use ppfr_gnn::ModelKind;
 use ppfr_graph::{jaccard_similarity, similarity_laplacian};
 use ppfr_influence::{compute_influences, pearson};
+use std::time::Duration;
 
 fn bench_table2(c: &mut Criterion) {
     // Table II kernel: influence of every training node on bias and risk plus
@@ -93,5 +93,11 @@ fn bench_table5(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(tables, bench_table2, bench_table3, bench_table4, bench_table5);
+criterion_group!(
+    tables,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5
+);
 criterion_main!(tables);

@@ -21,8 +21,14 @@ fn main() {
     let t4 = ppfr_core::experiments::table4(scale);
     println!("Table IV: effectiveness of the methods (high-homophily datasets)");
     println!("{}", t4.to_table_string());
-    println!("{}", ppfr_core::experiments::fig5_from(&t4).to_table_string());
-    println!("{}", ppfr_core::experiments::fig7_from(&t4).to_table_string());
+    println!(
+        "{}",
+        ppfr_core::experiments::fig5_from(&t4).to_table_string()
+    );
+    println!(
+        "{}",
+        ppfr_core::experiments::fig7_from(&t4).to_table_string()
+    );
 
     let t5 = ppfr_core::experiments::table5(scale);
     println!("Table V: GCN on weak-homophily datasets");

@@ -1,0 +1,154 @@
+//! Times the core kernels (dense matmul, CSR SpMM, Jaccard similarity,
+//! Hessian-vector product) serial vs parallel and writes `BENCH_kernels.json`
+//! so successive PRs accumulate a machine-readable performance trajectory.
+//!
+//! Usage: `cargo run --release -p ppfr_bench --bin exp_bench_json [--smoke]`
+//! (`--smoke` shrinks the problem sizes for CI).
+
+use ppfr_core::ExperimentScale;
+use ppfr_datasets::{generate, two_block_synthetic, DatasetSpec};
+use ppfr_gnn::{AnyModel, GnnModel, GraphContext, ModelKind};
+use ppfr_graph::{jaccard_similarity, jaccard_similarity_serial};
+use ppfr_influence::hessian_vector_product;
+use ppfr_linalg::parallel::{current_num_threads, with_forced_threads};
+use ppfr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One kernel's serial-vs-parallel wall-clock comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelBench {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Best-of-reps single-thread time (milliseconds).
+    pub serial_ms: f64,
+    /// Best-of-reps parallel time (milliseconds).
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The full report written to `BENCH_kernels.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Worker threads the parallel variants ran with.
+    pub threads: usize,
+    /// Repetitions per measurement (best-of).
+    pub reps: usize,
+    /// Per-kernel results.
+    pub kernels: Vec<KernelBench>,
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn compare<R>(
+    kernel: &str,
+    size: String,
+    reps: usize,
+    mut serial: impl FnMut() -> R,
+    mut parallel: impl FnMut() -> R,
+) -> KernelBench {
+    let serial_ms = best_ms(reps, &mut serial);
+    let parallel_ms = best_ms(reps, &mut parallel);
+    let b = KernelBench {
+        kernel: kernel.to_string(),
+        size,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+    };
+    println!(
+        "{:<24} {:<18} serial {:>9.3} ms   parallel {:>9.3} ms   speedup {:>5.2}x",
+        b.kernel, b.size, b.serial_ms, b.parallel_ms, b.speedup
+    );
+    b
+}
+
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let (mm, mk, mn, reps) = match scale {
+        ExperimentScale::Full => (512, 256, 128, 5),
+        ExperimentScale::Smoke => (128, 64, 32, 3),
+    };
+    let threads = current_num_threads();
+    println!("kernel benchmarks: {threads} worker thread(s), best of {reps}\n");
+
+    let mut kernels = Vec::new();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Dense matmul.
+    let a = Matrix::gaussian(mm, mk, 0.0, 1.0, &mut rng);
+    let b = Matrix::gaussian(mk, mn, 0.0, 1.0, &mut rng);
+    kernels.push(compare(
+        "matmul",
+        format!("{mm}x{mk}*{mk}x{mn}"),
+        reps,
+        || a.matmul_serial(&b),
+        || a.matmul(&b),
+    ));
+
+    // Graph kernels on an SBM large enough to show parallel structure.
+    let spec = DatasetSpec {
+        n_nodes: scale.scale_nodes(1200),
+        ..two_block_synthetic()
+    };
+    let ds = generate(&spec, 7);
+    let a_hat = ds.graph.normalized_adjacency();
+    let feat_cols = ds.features.cols();
+    kernels.push(compare(
+        "spmm",
+        format!(
+            "{}x{} nnz={} * d={}",
+            ds.n_nodes(),
+            ds.n_nodes(),
+            a_hat.nnz(),
+            feat_cols
+        ),
+        reps,
+        || a_hat.matmul_dense_serial(&ds.features),
+        || a_hat.matmul_dense(&ds.features),
+    ));
+    kernels.push(compare(
+        "jaccard",
+        format!("n={} m={}", ds.n_nodes(), ds.graph.n_edges()),
+        reps,
+        || jaccard_similarity_serial(&ds.graph),
+        || jaccard_similarity(&ds.graph),
+    ));
+
+    // Hessian-vector product (parallel = the two FD gradients via par_join
+    // plus the parallel forward/backward kernels underneath).
+    let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+    let model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 16, ds.n_classes, 1);
+    let v = vec![0.01; model.n_params()];
+    let hvp = || hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.01);
+    kernels.push(compare(
+        "hvp",
+        format!("params={}", model.n_params()),
+        reps,
+        || with_forced_threads(1, hvp),
+        hvp,
+    ));
+
+    let report = BenchReport {
+        threads,
+        reps,
+        kernels,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

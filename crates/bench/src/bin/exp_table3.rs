@@ -4,5 +4,8 @@ fn main() {
     let scale = ppfr_bench::scale_from_args();
     let result = ppfr_core::experiments::table3(scale);
     println!("{}", result.to_table_string());
-    println!("{}", serde_json::to_string_pretty(&result).expect("serialise result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&result).expect("serialise result")
+    );
 }

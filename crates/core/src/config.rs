@@ -145,10 +145,22 @@ mod tests {
 
     #[test]
     fn finetune_epochs_follow_the_fraction() {
-        let cfg = PpfrConfig { vanilla_epochs: 200, finetune_fraction: 0.2, ..Default::default() };
+        let cfg = PpfrConfig {
+            vanilla_epochs: 200,
+            finetune_fraction: 0.2,
+            ..Default::default()
+        };
         assert_eq!(cfg.finetune_epochs(), 40);
-        let tiny = PpfrConfig { vanilla_epochs: 2, finetune_fraction: 0.1, ..Default::default() };
-        assert_eq!(tiny.finetune_epochs(), 1, "fine-tuning always runs at least one epoch");
+        let tiny = PpfrConfig {
+            vanilla_epochs: 2,
+            finetune_fraction: 0.1,
+            ..Default::default()
+        };
+        assert_eq!(
+            tiny.finetune_epochs(),
+            1,
+            "fine-tuning always runs at least one epoch"
+        );
     }
 
     #[test]

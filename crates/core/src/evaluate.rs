@@ -97,7 +97,12 @@ pub fn deltas(reference: &Evaluation, ours: &Evaluation) -> MethodDeltas {
     let d_bias = relative_change(reference.bias, ours.bias);
     let d_risk = relative_change(reference.risk_auc, ours.risk_auc);
     let denom = d_acc.abs().max(1e-6);
-    MethodDeltas { d_acc, d_bias, d_risk, delta: d_bias * d_risk / denom }
+    MethodDeltas {
+        d_acc,
+        d_bias,
+        d_risk,
+        delta: d_bias * d_risk / denom,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +115,10 @@ mod tests {
     #[test]
     fn evaluation_fields_are_in_range() {
         let ds = generate(&two_block_synthetic(), 61);
-        let cfg = PpfrConfig { vanilla_epochs: 60, ..PpfrConfig::smoke() };
+        let cfg = PpfrConfig {
+            vanilla_epochs: 60,
+            ..PpfrConfig::smoke()
+        };
         let outcome = run_method(&ds, ModelKind::Gcn, Method::Vanilla, &cfg);
         let eval = evaluate(&outcome, &ds, &cfg);
         assert!((0.0..=1.0).contains(&eval.accuracy));
@@ -118,8 +126,16 @@ mod tests {
         assert!((0.0..=1.0).contains(&eval.risk_auc));
         assert!(eval.risk_gap >= 0.0);
         assert_eq!(eval.auc_per_distance.len(), 8);
-        assert!(eval.accuracy > 0.7, "vanilla GCN should classify the easy synthetic graph, got {}", eval.accuracy);
-        assert!(eval.risk_auc > 0.5, "a trained model leaks some edges, got AUC {}", eval.risk_auc);
+        assert!(
+            eval.accuracy > 0.7,
+            "vanilla GCN should classify the easy synthetic graph, got {}",
+            eval.accuracy
+        );
+        assert!(
+            eval.risk_auc > 0.5,
+            "a trained model leaks some edges, got AUC {}",
+            eval.risk_auc
+        );
     }
 
     #[test]
@@ -145,7 +161,10 @@ mod tests {
         // bias ↓ and risk ↓ together give a positive Δ.
         assert!(d.delta > 0.0);
         // bias ↓ but risk ↑ gives a negative Δ.
-        let worse_risk = Evaluation { risk_auc: 0.95, ..ours };
+        let worse_risk = Evaluation {
+            risk_auc: 0.95,
+            ..ours
+        };
         assert!(deltas(&reference, &worse_risk).delta < 0.0);
     }
 

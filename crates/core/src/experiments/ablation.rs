@@ -85,11 +85,7 @@ struct AblationContext {
     cfg: PpfrConfig,
 }
 
-fn evaluate_point(
-    ab: &AblationContext,
-    outcome: &TrainedOutcome,
-    x: f64,
-) -> AblationPoint {
+fn evaluate_point(ab: &AblationContext, outcome: &TrainedOutcome, x: f64) -> AblationPoint {
     let probs = predictions(outcome, &ab.cfg);
     let sample = attack_sample(&ab.dataset, &ab.cfg);
     AblationPoint {
@@ -100,14 +96,11 @@ fn evaluate_point(
     }
 }
 
-fn finetuned_outcome(
-    ab: &AblationContext,
-    gamma: f64,
-    finetune_epochs: usize,
-) -> TrainedOutcome {
+fn finetuned_outcome(ab: &AblationContext, gamma: f64, finetune_epochs: usize) -> TrainedOutcome {
     let mut model = ab.vanilla.model.clone();
     let deploy_ctx = if gamma > 0.0 {
-        let delta = heterophilic_perturbation(&model, &ab.base_ctx, gamma, ab.cfg.seed ^ 0x7f4a_7c15);
+        let delta =
+            heterophilic_perturbation(&model, &ab.base_ctx, gamma, ab.cfg.seed ^ 0x7f4a_7c15);
         ab.base_ctx.with_graph(delta.apply(&ab.base_ctx.graph))
     } else {
         ab.base_ctx.clone()
@@ -214,7 +207,12 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .collect(),
     };
 
-    Fig6Result { vanilla: vanilla_point, fr_only, pp_sweep, pp_fixed_fr_sweep }
+    Fig6Result {
+        vanilla: vanilla_point,
+        fr_only,
+        pp_sweep,
+        pp_fixed_fr_sweep,
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +223,11 @@ mod tests {
     fn smoke_ablation_produces_all_panels_with_monotone_x() {
         let result = fig6_ablation(ExperimentScale::Smoke);
         for curve in [&result.fr_only, &result.pp_sweep, &result.pp_fixed_fr_sweep] {
-            assert!(curve.points.len() >= 4, "{} has too few points", curve.title);
+            assert!(
+                curve.points.len() >= 4,
+                "{} has too few points",
+                curve.title
+            );
             for w in curve.points.windows(2) {
                 assert!(w[1].x >= w[0].x, "{}: x values must be sorted", curve.title);
             }

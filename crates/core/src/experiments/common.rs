@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment drivers.
 
-use crate::{evaluate, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome};
+use crate::{
+    evaluate, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome,
+};
 use ppfr_datasets::{citeseer, cora, credit, enzymes, pubmed, Dataset, DatasetSpec};
 use ppfr_gnn::ModelKind;
 use serde::{Deserialize, Serialize};

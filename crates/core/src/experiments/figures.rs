@@ -2,8 +2,8 @@
 //! cost per method).
 
 use super::common::run_and_evaluate;
-use super::tables::Table4Result;
 use super::high_homophily_specs;
+use super::tables::Table4Result;
 use crate::ExperimentScale;
 use crate::Method;
 use ppfr_datasets::generate;
@@ -39,7 +39,8 @@ pub struct Fig4Result {
 impl Fig4Result {
     /// Plain-text rendering of the figure's series.
     pub fn to_table_string(&self) -> String {
-        let mut out = String::from("Fig. 4: link-stealing AUC per distance (Vanilla vs Reg, GCN)\n");
+        let mut out =
+            String::from("Fig. 4: link-stealing AUC per distance (Vanilla vs Reg, GCN)\n");
         out.push_str("dataset    distance      AUC(vanilla)  AUC(Reg)   change\n");
         for row in &self.rows {
             out.push_str(&format!(
@@ -57,7 +58,10 @@ impl Fig4Result {
     /// Number of (dataset, distance) pairs where the regularised model leaks
     /// at least as much as the vanilla model — the paper's RQ1 observation.
     pub fn count_risk_increases(&self) -> usize {
-        self.rows.iter().filter(|r| r.auc_reg >= r.auc_vanilla).count()
+        self.rows
+            .iter()
+            .filter(|r| r.auc_reg >= r.auc_vanilla)
+            .count()
     }
 }
 
@@ -119,7 +123,10 @@ pub struct FigAccResult {
 impl FigAccResult {
     /// Plain-text rendering of the figure's bars.
     pub fn to_table_string(&self) -> String {
-        let mut out = format!("{}: accuracy cost of the methods (ΔAcc %, higher is better)\n", self.label);
+        let mut out = format!(
+            "{}: accuracy cost of the methods (ΔAcc %, higher is better)\n",
+            self.label
+        );
         out.push_str("dataset    model      method    ΔAcc%     Acc%\n");
         for row in &self.rows {
             out.push_str(&format!(
@@ -148,12 +155,18 @@ fn acc_rows_for_models(table4: &Table4Result, models: &[&str]) -> Vec<FigAccRow>
 
 /// Derives Fig. 5 (accuracy cost on GCN and GAT) from a Table IV run.
 pub fn fig5_from(table4: &Table4Result) -> FigAccResult {
-    FigAccResult { label: "Fig. 5".to_string(), rows: acc_rows_for_models(table4, &["GCN", "GAT"]) }
+    FigAccResult {
+        label: "Fig. 5".to_string(),
+        rows: acc_rows_for_models(table4, &["GCN", "GAT"]),
+    }
 }
 
 /// Derives Fig. 7 (accuracy cost on GraphSAGE) from a Table IV run.
 pub fn fig7_from(table4: &Table4Result) -> FigAccResult {
-    FigAccResult { label: "Fig. 7".to_string(), rows: acc_rows_for_models(table4, &["GraphSage"]) }
+    FigAccResult {
+        label: "Fig. 7".to_string(),
+        rows: acc_rows_for_models(table4, &["GraphSage"]),
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +202,11 @@ mod tests {
             vanilla: run(model, "Vanilla"),
         };
         Table4Result {
-            rows: vec![row("GCN", "Reg"), row("GAT", "PPFR"), row("GraphSage", "PPFR")],
+            rows: vec![
+                row("GCN", "Reg"),
+                row("GAT", "PPFR"),
+                row("GraphSage", "PPFR"),
+            ],
         }
     }
 
@@ -210,8 +227,18 @@ mod tests {
     fn fig4_risk_increase_counter() {
         let result = Fig4Result {
             rows: vec![
-                Fig4Row { dataset: "cora".into(), distance: "cosine".into(), auc_vanilla: 0.8, auc_reg: 0.85 },
-                Fig4Row { dataset: "cora".into(), distance: "euclidean".into(), auc_vanilla: 0.9, auc_reg: 0.88 },
+                Fig4Row {
+                    dataset: "cora".into(),
+                    distance: "cosine".into(),
+                    auc_vanilla: 0.8,
+                    auc_reg: 0.85,
+                },
+                Fig4Row {
+                    dataset: "cora".into(),
+                    distance: "euclidean".into(),
+                    auc_vanilla: 0.9,
+                    auc_reg: 0.88,
+                },
             ],
         };
         assert_eq!(result.count_risk_increases(), 1);

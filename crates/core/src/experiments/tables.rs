@@ -41,7 +41,10 @@ impl Table2Result {
         let mut out = String::from("Table II: Pearson r between I_fbias and I_frisk\n");
         out.push_str("dataset    model      r\n");
         for row in &self.rows {
-            out.push_str(&format!("{:<10} {:<10} {:+.2}\n", row.dataset, row.model, row.r));
+            out.push_str(&format!(
+                "{:<10} {:<10} {:+.2}\n",
+                row.dataset, row.model, row.r
+            ));
         }
         out
     }
@@ -113,7 +116,12 @@ impl Table3Result {
         for row in &self.rows {
             out.push_str(&format!(
                 "{:<10} Vanilla  {:6.2}  {:.4}\n{:<10} Reg      {:6.2}  {:.4}\n",
-                row.dataset, row.vanilla_acc, row.vanilla_bias, row.dataset, row.reg_acc, row.reg_bias
+                row.dataset,
+                row.vanilla_acc,
+                row.vanilla_bias,
+                row.dataset,
+                row.reg_acc,
+                row.reg_bias
             ));
         }
         out
@@ -234,13 +242,21 @@ fn method_matrix(
 /// Regenerates Table IV: the Reg/DPReg/DPFR/PPFR comparison on the three
 /// high-homophily datasets and all three architectures.
 pub fn table4(scale: ExperimentScale) -> Table4Result {
-    method_matrix(high_homophily_specs(scale), &ModelKind::ALL, &scale.config())
+    method_matrix(
+        high_homophily_specs(scale),
+        &ModelKind::ALL,
+        &scale.config(),
+    )
 }
 
 /// Regenerates Table V: the same comparison on the weak-homophily datasets
 /// (Enzymes, Credit) with the GCN model.
 pub fn table5(scale: ExperimentScale) -> Table5Result {
-    method_matrix(weak_homophily_specs(scale), &[ModelKind::Gcn], &scale.config())
+    method_matrix(
+        weak_homophily_specs(scale),
+        &[ModelKind::Gcn],
+        &scale.config(),
+    )
 }
 
 /// Convenience used by tests and the supporting §VII-A experiment: evaluates
@@ -258,8 +274,14 @@ pub fn vanilla_vs_reg_bias_risk(
     let p_vanilla = predictions(&vanilla, cfg);
     let p_reg = predictions(&reg, cfg);
     (
-        (bias(&p_vanilla, &l_s), ppfr_privacy::average_attack_auc(&p_vanilla, &sample)),
-        (bias(&p_reg, &l_s), ppfr_privacy::average_attack_auc(&p_reg, &sample)),
+        (
+            bias(&p_vanilla, &l_s),
+            ppfr_privacy::average_attack_auc(&p_vanilla, &sample),
+        ),
+        (
+            bias(&p_reg, &l_s),
+            ppfr_privacy::average_attack_auc(&p_reg, &sample),
+        ),
     )
 }
 
@@ -271,8 +293,16 @@ mod tests {
     fn table_renderers_produce_one_line_per_row() {
         let result = Table2Result {
             rows: vec![
-                Table2Row { dataset: "cora".into(), model: "GCN".into(), r: -0.5 },
-                Table2Row { dataset: "cora".into(), model: "GAT".into(), r: 0.2 },
+                Table2Row {
+                    dataset: "cora".into(),
+                    model: "GCN".into(),
+                    r: -0.5,
+                },
+                Table2Row {
+                    dataset: "cora".into(),
+                    model: "GAT".into(),
+                    r: 0.2,
+                },
             ],
         };
         let text = result.to_table_string();
@@ -316,7 +346,9 @@ mod tests {
             evaluation: mk_run(m),
             vanilla: mk_run(m),
         };
-        let result = Table4Result { rows: vec![row("GCN"), row("GAT"), row("GCN")] };
+        let result = Table4Result {
+            rows: vec![row("GCN"), row("GAT"), row("GCN")],
+        };
         assert_eq!(result.rows_for_model("GCN").len(), 2);
         assert_eq!(result.rows_for_model("GraphSage").len(), 0);
         assert!(result.to_table_string().contains("GAT"));

@@ -49,8 +49,21 @@ mod tests {
         let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
         let mut model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 8, ds.n_classes, 3);
         let w = vec![1.0; ds.splits.train.len()];
-        let cfg = TrainConfig { epochs: 80, lr: 0.02, weight_decay: 5e-4, seed: 1 };
-        train(&mut model, &ctx, &ds.labels, &ds.splits.train, &w, None, &cfg);
+        let cfg = TrainConfig {
+            epochs: 80,
+            lr: 0.02,
+            weight_decay: 5e-4,
+            seed: 1,
+        };
+        train(
+            &mut model,
+            &ctx,
+            &ds.labels,
+            &ds.splits.train,
+            &w,
+            None,
+            &cfg,
+        );
         (model, ctx, ds.labels.clone())
     }
 
@@ -63,7 +76,10 @@ mod tests {
         assert!(!delta.is_empty(), "with γ=1 some edges must be added");
         for &(u, v) in delta.edges() {
             assert!(!ctx.graph.has_edge(u, v), "({u},{v}) already existed");
-            assert_ne!(predicted[u], predicted[v], "({u},{v}) is not heterophilic w.r.t. predictions");
+            assert_ne!(
+                predicted[u], predicted[v],
+                "({u},{v}) is not heterophilic w.r.t. predictions"
+            );
         }
     }
 
@@ -72,7 +88,12 @@ mod tests {
         let (model, ctx, _) = trained();
         let small = heterophilic_perturbation(&model, &ctx, 0.3, 9);
         let large = heterophilic_perturbation(&model, &ctx, 1.5, 9);
-        assert!(large.len() > small.len(), "γ=1.5 ({}) must add more edges than γ=0.3 ({})", large.len(), small.len());
+        assert!(
+            large.len() > small.len(),
+            "γ=1.5 ({}) must add more edges than γ=0.3 ({})",
+            large.len(),
+            small.len()
+        );
     }
 
     #[test]

@@ -77,8 +77,19 @@ fn dp_perturb(dataset: &Dataset, epsilon: f64, seed: u64) -> Graph {
     }
 }
 
-fn build_model(kind: ModelKind, ctx: &GraphContext, dataset: &Dataset, cfg: &PpfrConfig) -> AnyModel {
-    let mut model = AnyModel::new(kind, ctx.feat_dim(), cfg.hidden, dataset.n_classes, cfg.seed);
+fn build_model(
+    kind: ModelKind,
+    ctx: &GraphContext,
+    dataset: &Dataset,
+    cfg: &PpfrConfig,
+) -> AnyModel {
+    let mut model = AnyModel::new(
+        kind,
+        ctx.feat_dim(),
+        cfg.hidden,
+        dataset.n_classes,
+        cfg.seed,
+    );
     // GraphSAGE uses neighbour sampling, mirroring the paper's observation
     // that sampling dilutes edge-DP noise (Table IV discussion).
     if let AnyModel::GraphSage(sage) = &mut model {
@@ -88,34 +99,74 @@ fn build_model(kind: ModelKind, ctx: &GraphContext, dataset: &Dataset, cfg: &Ppf
 }
 
 /// Runs one training strategy end to end and returns the trained outcome.
-pub fn run_method(dataset: &Dataset, kind: ModelKind, method: Method, cfg: &PpfrConfig) -> TrainedOutcome {
+pub fn run_method(
+    dataset: &Dataset,
+    kind: ModelKind,
+    method: Method,
+    cfg: &PpfrConfig,
+) -> TrainedOutcome {
     let base_ctx = GraphContext::new(dataset.graph.clone(), dataset.features.clone());
     let similarity = jaccard_similarity(&dataset.graph);
     let l_s = similarity_laplacian(&similarity);
     let labels = &dataset.labels;
     let train_ids = &dataset.splits.train;
     let uniform = vec![1.0; train_ids.len()];
-    let reg = FairnessReg { laplacian: l_s.clone(), lambda: cfg.fairness_lambda };
+    let reg = FairnessReg {
+        laplacian: l_s.clone(),
+        lambda: cfg.fairness_lambda,
+    };
 
     let mut model = build_model(kind, &base_ctx, dataset, cfg);
 
     let (deploy_ctx, fairness_loss_weights) = match method {
         Method::Vanilla => {
-            train(&mut model, &base_ctx, labels, train_ids, &uniform, None, &cfg.vanilla_train_config());
+            train(
+                &mut model,
+                &base_ctx,
+                labels,
+                train_ids,
+                &uniform,
+                None,
+                &cfg.vanilla_train_config(),
+            );
             (base_ctx, None)
         }
         Method::Reg => {
-            train(&mut model, &base_ctx, labels, train_ids, &uniform, Some(&reg), &cfg.vanilla_train_config());
+            train(
+                &mut model,
+                &base_ctx,
+                labels,
+                train_ids,
+                &uniform,
+                Some(&reg),
+                &cfg.vanilla_train_config(),
+            );
             (base_ctx, None)
         }
         Method::DpReg => {
             let dp_graph = dp_perturb(dataset, cfg.dp_epsilon, cfg.seed);
             let dp_ctx = base_ctx.with_graph(dp_graph);
-            train(&mut model, &dp_ctx, labels, train_ids, &uniform, Some(&reg), &cfg.vanilla_train_config());
+            train(
+                &mut model,
+                &dp_ctx,
+                labels,
+                train_ids,
+                &uniform,
+                Some(&reg),
+                &cfg.vanilla_train_config(),
+            );
             (dp_ctx, None)
         }
         Method::DpFr => {
-            train(&mut model, &base_ctx, labels, train_ids, &uniform, None, &cfg.vanilla_train_config());
+            train(
+                &mut model,
+                &base_ctx,
+                labels,
+                train_ids,
+                &uniform,
+                None,
+                &cfg.vanilla_train_config(),
+            );
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xb492_b66f);
             let sample = PairSample::balanced(&dataset.graph, &mut rng);
             let fr = fairness_weights(&model, &base_ctx, labels, train_ids, &l_s, &sample, cfg);
@@ -133,11 +184,24 @@ pub fn run_method(dataset: &Dataset, kind: ModelKind, method: Method, cfg: &Ppfr
             (dp_ctx, Some(fr.loss_weights))
         }
         Method::Ppfr => {
-            train(&mut model, &base_ctx, labels, train_ids, &uniform, None, &cfg.vanilla_train_config());
+            train(
+                &mut model,
+                &base_ctx,
+                labels,
+                train_ids,
+                &uniform,
+                None,
+                &cfg.vanilla_train_config(),
+            );
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xb492_b66f);
             let sample = PairSample::balanced(&dataset.graph, &mut rng);
             let fr = fairness_weights(&model, &base_ctx, labels, train_ids, &l_s, &sample, cfg);
-            let delta = heterophilic_perturbation(&model, &base_ctx, cfg.perturb_ratio, cfg.seed ^ 0x7f4a_7c15);
+            let delta = heterophilic_perturbation(
+                &model,
+                &base_ctx,
+                cfg.perturb_ratio,
+                cfg.seed ^ 0x7f4a_7c15,
+            );
             let pp_ctx = base_ctx.with_graph(delta.apply(&base_ctx.graph));
             train(
                 &mut model,
@@ -174,31 +238,58 @@ mod tests {
     #[test]
     fn every_method_produces_a_deployable_model() {
         let ds = tiny_dataset();
-        let cfg = PpfrConfig { vanilla_epochs: 40, influence_cg_iters: 8, ..PpfrConfig::smoke() };
-        for method in [Method::Vanilla, Method::Reg, Method::DpReg, Method::DpFr, Method::Ppfr] {
+        let cfg = PpfrConfig {
+            vanilla_epochs: 40,
+            influence_cg_iters: 8,
+            ..PpfrConfig::smoke()
+        };
+        for method in [
+            Method::Vanilla,
+            Method::Reg,
+            Method::DpReg,
+            Method::DpFr,
+            Method::Ppfr,
+        ] {
             let outcome = run_method(&ds, ModelKind::Gcn, method, &cfg);
             assert_eq!(outcome.method, method);
             let logits = ppfr_gnn::GnnModel::forward(&outcome.model, &outcome.deploy_ctx);
             assert_eq!(logits.rows(), ds.n_nodes());
-            assert!(!logits.has_non_finite(), "{} produced non-finite logits", method.name());
+            assert!(
+                !logits.has_non_finite(),
+                "{} produced non-finite logits",
+                method.name()
+            );
         }
     }
 
     #[test]
     fn ppfr_deploys_on_a_perturbed_graph_and_carries_weights() {
         let ds = tiny_dataset();
-        let cfg = PpfrConfig { vanilla_epochs: 40, influence_cg_iters: 8, ..PpfrConfig::smoke() };
+        let cfg = PpfrConfig {
+            vanilla_epochs: 40,
+            influence_cg_iters: 8,
+            ..PpfrConfig::smoke()
+        };
         let outcome = run_method(&ds, ModelKind::Gcn, Method::Ppfr, &cfg);
-        assert!(outcome.deploy_ctx.graph.n_edges() > ds.graph.n_edges(), "PP must add edges");
+        assert!(
+            outcome.deploy_ctx.graph.n_edges() > ds.graph.n_edges(),
+            "PP must add edges"
+        );
         let weights = outcome.fairness_loss_weights.expect("PPFR uses FR weights");
         assert_eq!(weights.len(), ds.splits.train.len());
-        assert!(weights.iter().all(|&w| (0.0..=2.0).contains(&w)), "loss weights are 1 + w with w in [-1,1]");
+        assert!(
+            weights.iter().all(|&w| (0.0..=2.0).contains(&w)),
+            "loss weights are 1 + w with w in [-1,1]"
+        );
     }
 
     #[test]
     fn vanilla_and_reg_deploy_on_the_original_graph() {
         let ds = tiny_dataset();
-        let cfg = PpfrConfig { vanilla_epochs: 30, ..PpfrConfig::smoke() };
+        let cfg = PpfrConfig {
+            vanilla_epochs: 30,
+            ..PpfrConfig::smoke()
+        };
         for method in [Method::Vanilla, Method::Reg] {
             let outcome = run_method(&ds, ModelKind::Gcn, method, &cfg);
             assert_eq!(outcome.deploy_ctx.graph.n_edges(), ds.graph.n_edges());

@@ -91,9 +91,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let sample = PairSample::balanced(&ds.graph, &mut rng);
 
-        let outcome = fairness_weights(&model, &ctx, &ds.labels, &ds.splits.train, &l_s, &sample, &cfg);
+        let outcome = fairness_weights(
+            &model,
+            &ctx,
+            &ds.labels,
+            &ds.splits.train,
+            &l_s,
+            &sample,
+            &cfg,
+        );
         assert_eq!(outcome.weights.len(), ds.splits.train.len());
-        assert!(outcome.weights.iter().all(|w| (-1.0 - 1e-6..=1.0 + 1e-6).contains(w)));
+        assert!(outcome
+            .weights
+            .iter()
+            .all(|w| (-1.0 - 1e-6..=1.0 + 1e-6).contains(w)));
         assert!(outcome
             .loss_weights
             .iter()
@@ -101,7 +112,11 @@ mod tests {
             .all(|(&lw, &w)| (lw - (1.0 + w)).abs() < 1e-12));
         // The QCLP objective is the predicted first-order bias change; it must
         // not be positive (the zero vector is feasible with value 0).
-        assert!(outcome.predicted_bias_change <= 1e-9, "predicted change {}", outcome.predicted_bias_change);
+        assert!(
+            outcome.predicted_bias_change <= 1e-9,
+            "predicted change {}",
+            outcome.predicted_bias_change
+        );
         // The weights must not be all zero (otherwise FR is a no-op).
         assert!(outcome.weights.iter().any(|&w| w.abs() > 1e-6));
         // The ℓ₂ budget of Eq. (13) holds.

@@ -103,7 +103,11 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Dataset {
         let start = class * block;
         let end = ((class + 1) * block).min(d);
         for f in 0..d {
-            let p_fire = if f >= start && f < end { spec.feature_signal } else { spec.feature_noise };
+            let p_fire = if f >= start && f < end {
+                spec.feature_signal
+            } else {
+                spec.feature_noise
+            };
             if rng.gen_bool(p_fire) {
                 features[(i, f)] = 1.0;
             }
@@ -111,9 +115,23 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Dataset {
     }
 
     // --- splits --------------------------------------------------------------
-    let splits = Splits::planetoid(&labels, c, spec.train_per_class, spec.n_val, spec.n_test, &mut rng);
+    let splits = Splits::planetoid(
+        &labels,
+        c,
+        spec.train_per_class,
+        spec.n_val,
+        spec.n_test,
+        &mut rng,
+    );
 
-    Dataset { name: spec.name, graph, features, labels, splits, n_classes: c }
+    Dataset {
+        name: spec.name,
+        graph,
+        features,
+        labels,
+        splits,
+        n_classes: c,
+    }
 }
 
 #[cfg(test)]
@@ -131,13 +149,19 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
-        assert!(max - min <= 1, "balanced assignment expected, got {counts:?}");
+        assert!(
+            max - min <= 1,
+            "balanced assignment expected, got {counts:?}"
+        );
     }
 
     #[test]
     fn generated_graph_is_sparse_and_homophilous_in_p_q() {
         let ds = generate(&cora(), 2);
-        assert!(edge_density(&ds.graph) < 0.02, "citation graphs must be sparse");
+        assert!(
+            edge_density(&ds.graph) < 0.02,
+            "citation graphs must be sparse"
+        );
         let (p, q) = intra_inter_probabilities(&ds.graph, &ds.labels);
         assert!(p > q, "empirical p={p} must exceed q={q}");
     }
@@ -158,7 +182,10 @@ mod tests {
         }
         let rate0 = in_block[0] / counts[0];
         let rate1 = in_block[1] / counts[1];
-        assert!(rate0 > 2.0 * rate1, "class-0 block should fire mostly for class-0 nodes: {rate0} vs {rate1}");
+        assert!(
+            rate0 > 2.0 * rate1,
+            "class-0 block should fire mostly for class-0 nodes: {rate0} vs {rate1}"
+        );
     }
 
     #[test]
@@ -179,6 +206,9 @@ mod tests {
         for &v in &ds.splits.train {
             class_seen[ds.labels[v]] = true;
         }
-        assert!(class_seen.iter().all(|&b| b), "every class needs labelled training nodes");
+        assert!(
+            class_seen.iter().all(|&b| b),
+            "every class needs labelled training nodes"
+        );
     }
 }

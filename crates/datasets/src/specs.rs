@@ -175,10 +175,25 @@ mod tests {
 
     #[test]
     fn block_probabilities_are_homophilous_and_sparse() {
-        for spec in [cora(), citeseer(), pubmed(), enzymes(), credit(), two_block_synthetic()] {
+        for spec in [
+            cora(),
+            citeseer(),
+            pubmed(),
+            enzymes(),
+            credit(),
+            two_block_synthetic(),
+        ] {
             let (p, q) = spec.block_probabilities();
-            assert!(p > q, "{}: need p > q (homophily), got p={p} q={q}", spec.name);
-            assert!(p < 0.2, "{}: intra-class probability {p} violates sparsity", spec.name);
+            assert!(
+                p > q,
+                "{}: need p > q (homophily), got p={p} q={q}",
+                spec.name
+            );
+            assert!(
+                p < 0.2,
+                "{}: intra-class probability {p} violates sparsity",
+                spec.name
+            );
             assert!(q >= 0.0);
         }
     }

@@ -54,7 +54,11 @@ impl Splits {
     /// non-empty — used by tests and by the experiment harness as a guard.
     pub fn assert_valid(&self, n_nodes: usize) {
         let mut seen = vec![false; n_nodes];
-        for (name, split) in [("train", &self.train), ("val", &self.val), ("test", &self.test)] {
+        for (name, split) in [
+            ("train", &self.train),
+            ("val", &self.val),
+            ("test", &self.test),
+        ] {
             assert!(!split.is_empty(), "{name} split must not be empty");
             for &v in split {
                 assert!(v < n_nodes, "{name} index {v} out of range");
@@ -108,7 +112,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "more than one split")]
     fn assert_valid_rejects_overlap() {
-        let s = Splits { train: vec![0, 1], val: vec![1], test: vec![2] };
+        let s = Splits {
+            train: vec![0, 1],
+            val: vec![1],
+            test: vec![2],
+        };
         s.assert_valid(3);
     }
 }

@@ -9,7 +9,11 @@ use ppfr_linalg::Matrix;
 ///
 /// Lower values mean fairer predictions (Definition 1).
 pub fn bias(probs: &Matrix, l_s: &SparseMatrix) -> f64 {
-    assert_eq!(probs.rows(), l_s.n_rows(), "Laplacian must match prediction rows");
+    assert_eq!(
+        probs.rows(),
+        l_s.n_rows(),
+        "Laplacian must match prediction rows"
+    );
     let lp = l_s.matmul_dense(probs);
     let mut tr = 0.0;
     for r in 0..probs.rows() {

@@ -40,7 +40,12 @@ pub fn lipschitz_violations(
         }
         let dist = d2.sqrt();
         if dist > lipschitz * (1.0 - s) {
-            out.push(Violation { i, j, similarity: s, prediction_distance: dist });
+            out.push(Violation {
+                i,
+                j,
+                similarity: s,
+                prediction_distance: dist,
+            });
         }
     }
     out
@@ -95,7 +100,10 @@ mod tests {
             vec![0.5, 0.5],
         ]);
         let violations = lipschitz_violations(&probs, &s, 0.5);
-        assert!(violations.iter().any(|v| (v.i, v.j) == (0, 1)), "twin pair must be flagged");
+        assert!(
+            violations.iter().any(|v| (v.i, v.j) == (0, 1)),
+            "twin pair must be flagged"
+        );
         assert!(max_unfairness_gap(&probs, &s) > 1.0);
     }
 

@@ -30,7 +30,10 @@ pub fn ranking_fairness_ndcg(probs: &Matrix, similarity: &SparseMatrix, k: usize
     let mut total = 0.0;
     let mut counted = 0usize;
     for i in 0..n {
-        let neighbors: Vec<(usize, f64)> = similarity.row(i).filter(|&(j, s)| j != i && s > 0.0).collect();
+        let neighbors: Vec<(usize, f64)> = similarity
+            .row(i)
+            .filter(|&(j, s)| j != i && s > 0.0)
+            .collect();
         if neighbors.is_empty() {
             continue;
         }
@@ -81,7 +84,10 @@ mod tests {
         let s = jaccard_similarity(&g);
         let probs = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]);
         let ndcg = ranking_fairness_ndcg(&probs, &s, 3);
-        assert!((ndcg - 1.0).abs() < 1e-12, "single-candidate NDCG must be 1, got {ndcg}");
+        assert!(
+            (ndcg - 1.0).abs() < 1e-12,
+            "single-candidate NDCG must be 1, got {ndcg}"
+        );
 
         // On a larger graph the score stays inside (0, 1].
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
@@ -93,7 +99,10 @@ mod tests {
             vec![0.3, 0.7],
         ]);
         let ndcg = ranking_fairness_ndcg(&probs, &s, 3);
-        assert!(ndcg > 0.0 && ndcg <= 1.0 + 1e-12, "NDCG out of range: {ndcg}");
+        assert!(
+            ndcg > 0.0 && ndcg <= 1.0 + 1e-12,
+            "NDCG out of range: {ndcg}"
+        );
     }
 
     #[test]
@@ -117,7 +126,10 @@ mod tests {
         ]);
         let good = ranking_fairness_ndcg(&aligned, &s, 4);
         let bad = ranking_fairness_ndcg(&scrambled, &s, 4);
-        assert!(good >= bad, "aligned predictions must not rank worse: {good} vs {bad}");
+        assert!(
+            good >= bad,
+            "aligned predictions must not rank worse: {good} vs {bad}"
+        );
     }
 
     #[test]

@@ -40,7 +40,14 @@ impl GraphContext {
             att_ptr.push(cursor);
         }
         debug_assert_eq!(cursor, att_edges.len());
-        Self { graph, features, a_hat, mean_agg, att_edges, att_ptr }
+        Self {
+            graph,
+            features,
+            a_hat,
+            mean_agg,
+            att_edges,
+            att_ptr,
+        }
     }
 
     /// Number of nodes.
@@ -71,8 +78,14 @@ mod tests {
         assert_eq!(*ctx.att_ptr.last().unwrap(), ctx.att_edges.len());
         for v in 0..4 {
             let span = &ctx.att_edges[ctx.att_ptr[v]..ctx.att_ptr[v + 1]];
-            assert!(span.iter().all(|&(dst, _)| dst == v), "edges grouped by destination");
-            assert!(span.iter().any(|&(_, src)| src == v), "self loop present for node {v}");
+            assert!(
+                span.iter().all(|&(dst, _)| dst == v),
+                "edges grouped by destination"
+            );
+            assert!(
+                span.iter().any(|&(_, src)| src == v),
+                "self loop present for node {v}"
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //! `α_{ij} = softmax_j(e_{ij})`, `h'_i = Σ_j α_{ij} W h_j`.
 
 use crate::{GnnModel, GraphContext};
-use ppfr_linalg::{leaky_relu, leaky_relu_grad, relu, relu_grad, Matrix};
+use ppfr_linalg::{leaky_relu, leaky_relu_grad, par_rows, relu, relu_grad, Matrix};
 use rand::Rng;
 
 const LEAKY_SLOPE: f64 = 0.2;
@@ -47,9 +47,10 @@ impl GatLayer {
     fn forward(&self, ctx: &GraphContext, x: &Matrix) -> LayerCache {
         let n = ctx.n_nodes();
         let h = x.matmul(&self.w);
-        // s_i = h_i · a_src, t_j = h_j · a_dst
-        let s: Vec<f64> = (0..n).map(|i| dot(h.row(i), &self.a_src)).collect();
-        let t: Vec<f64> = (0..n).map(|j| dot(h.row(j), &self.a_dst)).collect();
+        // s_i = h_i · a_src, t_j = h_j · a_dst — independent per node, so
+        // computed through the shared parallel row idiom.
+        let s: Vec<f64> = par_rows(n, |i| dot(h.row(i), &self.a_src));
+        let t: Vec<f64> = par_rows(n, |j| dot(h.row(j), &self.a_dst));
         let m = ctx.att_edges.len();
         let mut pre = vec![0.0; m];
         for (e, &(dst, src)) in ctx.att_edges.iter().enumerate() {
@@ -159,7 +160,12 @@ pub struct Gat {
 
 impl Gat {
     /// Glorot-initialised GAT with hidden width `hidden`.
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, n_classes: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden: usize,
+        n_classes: usize,
+        rng: &mut R,
+    ) -> Self {
         Self {
             layer1: GatLayer::new(in_dim, hidden, rng),
             layer2: GatLayer::new(hidden, n_classes, rng),
@@ -206,7 +212,11 @@ impl GnnModel for Gat {
         let mut cursor = 0usize;
         for layer in [&mut self.layer1, &mut self.layer2] {
             let w_len = layer.in_dim * layer.out_dim;
-            layer.w = Matrix::from_vec(layer.in_dim, layer.out_dim, params[cursor..cursor + w_len].to_vec());
+            layer.w = Matrix::from_vec(
+                layer.in_dim,
+                layer.out_dim,
+                params[cursor..cursor + w_len].to_vec(),
+            );
             cursor += w_len;
             layer.a_src = params[cursor..cursor + layer.out_dim].to_vec();
             cursor += layer.out_dim;
@@ -257,8 +267,13 @@ mod tests {
         let gat = Gat::new(4, 5, 3, &mut rng);
         let cache = gat.layer1.forward(&ctx, &ctx.features);
         for v in 0..ctx.n_nodes() {
-            let sum: f64 = (ctx.att_ptr[v]..ctx.att_ptr[v + 1]).map(|e| cache.alpha[e]).sum();
-            assert!((sum - 1.0).abs() < 1e-12, "attention of node {v} sums to {sum}");
+            let sum: f64 = (ctx.att_ptr[v]..ctx.att_ptr[v + 1])
+                .map(|e| cache.alpha[e])
+                .sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-12,
+                "attention of node {v} sums to {sum}"
+            );
         }
     }
 
@@ -276,7 +291,10 @@ mod tests {
         };
         let numeric = central_difference(f, &gat.params(), 1e-5);
         let err = max_relative_error(&analytic, &numeric, 1e-5);
-        assert!(err < 1e-3, "GAT gradient check failed: max relative error {err}");
+        assert!(
+            err < 1e-3,
+            "GAT gradient check failed: max relative error {err}"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub struct Gcn {
 
 impl Gcn {
     /// Glorot-initialised GCN.
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, n_classes: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden: usize,
+        n_classes: usize,
+        rng: &mut R,
+    ) -> Self {
         Self {
             w1: Matrix::glorot(in_dim, hidden, rng),
             w2: Matrix::glorot(hidden, n_classes, rng),
@@ -123,7 +128,10 @@ mod tests {
         };
         let numeric = central_difference(f, &gcn.params(), 1e-5);
         let err = max_relative_error(&analytic, &numeric, 1e-6);
-        assert!(err < 1e-4, "gradient check failed: max relative error {err}");
+        assert!(
+            err < 1e-4,
+            "gradient check failed: max relative error {err}"
+        );
     }
 
     #[test]
@@ -141,7 +149,10 @@ mod tests {
         for c in 0..2 {
             assert!((z1[(2, c)] - z2[(2, c)]).abs() < 1e-12);
         }
-        assert!((z1[(0, 0)] - z2[(0, 0)]).abs() > 1e-9, "node 0 must react to its own features");
+        assert!(
+            (z1[(0, 0)] - z2[(0, 0)]).abs() > 1e-9,
+            "node 0 must react to its own features"
+        );
     }
 
     #[test]

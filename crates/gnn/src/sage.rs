@@ -32,7 +32,12 @@ pub struct GraphSage {
 
 impl GraphSage {
     /// Glorot-initialised GraphSAGE (full-neighbourhood aggregation).
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, n_classes: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden: usize,
+        n_classes: usize,
+        rng: &mut R,
+    ) -> Self {
         Self {
             w1_self: Matrix::glorot(in_dim, hidden, rng),
             w1_neigh: Matrix::glorot(in_dim, hidden, rng),
@@ -113,13 +118,29 @@ impl GnnModel for GraphSage {
         let l1 = self.in_dim * self.hidden;
         let l2 = self.hidden * self.n_classes;
         let mut cursor = 0usize;
-        self.w1_self = Matrix::from_vec(self.in_dim, self.hidden, params[cursor..cursor + l1].to_vec());
+        self.w1_self = Matrix::from_vec(
+            self.in_dim,
+            self.hidden,
+            params[cursor..cursor + l1].to_vec(),
+        );
         cursor += l1;
-        self.w1_neigh = Matrix::from_vec(self.in_dim, self.hidden, params[cursor..cursor + l1].to_vec());
+        self.w1_neigh = Matrix::from_vec(
+            self.in_dim,
+            self.hidden,
+            params[cursor..cursor + l1].to_vec(),
+        );
         cursor += l1;
-        self.w2_self = Matrix::from_vec(self.hidden, self.n_classes, params[cursor..cursor + l2].to_vec());
+        self.w2_self = Matrix::from_vec(
+            self.hidden,
+            self.n_classes,
+            params[cursor..cursor + l2].to_vec(),
+        );
         cursor += l2;
-        self.w2_neigh = Matrix::from_vec(self.hidden, self.n_classes, params[cursor..cursor + l2].to_vec());
+        self.w2_neigh = Matrix::from_vec(
+            self.hidden,
+            self.n_classes,
+            params[cursor..cursor + l2].to_vec(),
+        );
     }
 
     fn n_params(&self) -> usize {
@@ -194,7 +215,10 @@ mod tests {
         };
         let numeric = central_difference(f, &sage.params(), 1e-5);
         let err = max_relative_error(&analytic, &numeric, 1e-6);
-        assert!(err < 1e-4, "GraphSAGE gradient check failed: max relative error {err}");
+        assert!(
+            err < 1e-4,
+            "GraphSAGE gradient check failed: max relative error {err}"
+        );
     }
 
     #[test]
@@ -203,10 +227,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut sage = GraphSage::new(4, 3, 2, &mut rng).with_sampling(1);
         sage.resample(&ctx, 100);
-        let agg = sage.sampled_agg.as_ref().expect("sampled operator must exist");
+        let agg = sage
+            .sampled_agg
+            .as_ref()
+            .expect("sampled operator must exist");
         for v in 0..ctx.n_nodes() {
             let nnz = agg.row(v).count();
-            assert!(nnz <= 1, "node {v} aggregates {nnz} neighbours with fan-out 1");
+            assert!(
+                nnz <= 1,
+                "node {v} aggregates {nnz} neighbours with fan-out 1"
+            );
         }
         // A different seed may select different neighbours.
         let before = agg.clone();
@@ -227,6 +257,10 @@ mod tests {
         let z1 = sage.forward(&ctx);
         sage.resample(&ctx, 8);
         let z2 = sage.forward(&ctx);
-        assert_eq!(z1.as_slice(), z2.as_slice(), "deterministic without sampling");
+        assert_eq!(
+            z1.as_slice(),
+            z2.as_slice(),
+            "deterministic without sampling"
+        );
     }
 }

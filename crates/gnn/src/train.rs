@@ -56,7 +56,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 200, lr: 0.01, weight_decay: 5e-4, seed: 0 }
+        Self {
+            epochs: 200,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -64,7 +69,10 @@ impl TrainConfig {
     /// Same configuration with a different number of epochs (used to derive
     /// the fine-tuning budget `e_re = s · e_va`).
     pub fn with_epochs(&self, epochs: usize) -> Self {
-        Self { epochs, ..self.clone() }
+        Self {
+            epochs,
+            ..self.clone()
+        }
     }
 }
 
@@ -94,7 +102,11 @@ pub fn train(
     fairness: Option<&FairnessReg>,
     cfg: &TrainConfig,
 ) -> TrainReport {
-    assert_eq!(train_ids.len(), weights.len(), "one weight per training node");
+    assert_eq!(
+        train_ids.len(),
+        weights.len(),
+        "one weight per training node"
+    );
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut params = model.params();
     let mut loss_history = Vec::with_capacity(cfg.epochs);
@@ -119,7 +131,11 @@ pub fn train(
         let probs = ppfr_linalg::row_softmax(&logits);
         reg.bias(&probs)
     });
-    TrainReport { loss_history, train_accuracy, final_bias }
+    TrainReport {
+        loss_history,
+        train_accuracy,
+        final_bias,
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +149,12 @@ mod tests {
     fn setup() -> (GraphContext, Vec<usize>, Vec<usize>, Vec<usize>) {
         let ds = generate(&two_block_synthetic(), 7);
         let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
-        (ctx, ds.labels.clone(), ds.splits.train.clone(), ds.splits.test.clone())
+        (
+            ctx,
+            ds.labels.clone(),
+            ds.splits.train.clone(),
+            ds.splits.test.clone(),
+        )
     }
 
     #[test]
@@ -142,12 +163,26 @@ mod tests {
         for kind in ModelKind::ALL {
             let mut model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 1);
             let weights = vec![1.0; train_ids.len()];
-            let cfg = TrainConfig { epochs: 120, lr: 0.02, weight_decay: 5e-4, seed: 3 };
+            let cfg = TrainConfig {
+                epochs: 120,
+                lr: 0.02,
+                weight_decay: 5e-4,
+                seed: 3,
+            };
             let report = train(&mut model, &ctx, &labels, &train_ids, &weights, None, &cfg);
             let first = report.loss_history.first().copied().unwrap();
             let last = report.loss_history.last().copied().unwrap();
-            assert!(last < first * 0.7, "{}: loss did not drop ({first} -> {last})", kind.name());
-            assert!(report.train_accuracy > 0.8, "{}: train accuracy {}", kind.name(), report.train_accuracy);
+            assert!(
+                last < first * 0.7,
+                "{}: loss did not drop ({first} -> {last})",
+                kind.name()
+            );
+            assert!(
+                report.train_accuracy > 0.8,
+                "{}: train accuracy {}",
+                kind.name(),
+                report.train_accuracy
+            );
             let logits = model.forward(&ctx);
             let test_acc = accuracy(&logits, &labels, &test_ids);
             assert!(test_acc > 0.7, "{}: test accuracy {test_acc}", kind.name());
@@ -160,16 +195,40 @@ mod tests {
         let s = jaccard_similarity(&ctx.graph);
         let l = similarity_laplacian(&s);
         let weights = vec![1.0; train_ids.len()];
-        let cfg = TrainConfig { epochs: 150, lr: 0.02, weight_decay: 5e-4, seed: 5 };
+        let cfg = TrainConfig {
+            epochs: 150,
+            lr: 0.02,
+            weight_decay: 5e-4,
+            seed: 5,
+        };
 
         let mut vanilla = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 8, 2, 11);
-        train(&mut vanilla, &ctx, &labels, &train_ids, &weights, None, &cfg);
-        let reg_cfg = FairnessReg { laplacian: l.clone(), lambda: 2.0 };
+        train(
+            &mut vanilla,
+            &ctx,
+            &labels,
+            &train_ids,
+            &weights,
+            None,
+            &cfg,
+        );
+        let reg_cfg = FairnessReg {
+            laplacian: l.clone(),
+            lambda: 2.0,
+        };
         let vanilla_probs = ppfr_linalg::row_softmax(&vanilla.forward(&ctx));
         let vanilla_bias = reg_cfg.bias(&vanilla_probs);
 
         let mut fair = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 8, 2, 11);
-        let report = train(&mut fair, &ctx, &labels, &train_ids, &weights, Some(&reg_cfg), &cfg);
+        let report = train(
+            &mut fair,
+            &ctx,
+            &labels,
+            &train_ids,
+            &weights,
+            Some(&reg_cfg),
+            &cfg,
+        );
         let fair_bias = report.final_bias.expect("bias reported when regularised");
 
         assert!(
@@ -181,7 +240,12 @@ mod tests {
     #[test]
     fn reweighting_changes_the_learned_model() {
         let (ctx, labels, train_ids, _) = setup();
-        let cfg = TrainConfig { epochs: 60, lr: 0.02, weight_decay: 5e-4, seed: 2 };
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.02,
+            weight_decay: 5e-4,
+            seed: 2,
+        };
         let uniform = vec![1.0; train_ids.len()];
         let mut skewed = vec![0.2; train_ids.len()];
         for w in skewed.iter_mut().take(train_ids.len() / 2) {
@@ -191,7 +255,11 @@ mod tests {
         let mut b = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 8, 2, 9);
         train(&mut a, &ctx, &labels, &train_ids, &uniform, None, &cfg);
         train(&mut b, &ctx, &labels, &train_ids, &skewed, None, &cfg);
-        assert_ne!(a.params(), b.params(), "different loss weights must lead to different parameters");
+        assert_ne!(
+            a.params(),
+            b.params(),
+            "different loss weights must lead to different parameters"
+        );
     }
 
     #[test]

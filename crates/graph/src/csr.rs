@@ -3,8 +3,7 @@
 //! Used both for normalised adjacency operators (`Â`) and for the Jaccard
 //! similarity matrix `S` / its Laplacian `L_S`.
 
-use ppfr_linalg::Matrix;
-use rayon::prelude::*;
+use ppfr_linalg::{par_chunks, Matrix};
 
 /// Sparse matrix in CSR format with `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +44,13 @@ impl SparseMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { n_rows, n_cols, row_ptr, col_idx, values }
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An all-zero sparse matrix.
@@ -94,8 +99,22 @@ impl SparseMatrix {
         (0..self.n_rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
     }
 
-    /// Sparse × dense product, parallelised over output rows.
-    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+    /// One output row of the sparse × dense product; shared by the parallel
+    /// and serial SpMM so both produce bit-identical results.
+    #[inline]
+    fn spmm_row_into(&self, r: usize, dense: &Matrix, out_row: &mut [f64]) {
+        for (c, v) in self.row(r) {
+            if v == 0.0 {
+                continue;
+            }
+            let d_row = dense.row(c);
+            for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
+                *o += v * d;
+            }
+        }
+    }
+
+    fn spmm_check(&self, dense: &Matrix) {
         assert_eq!(
             self.n_cols,
             dense.rows(),
@@ -105,22 +124,36 @@ impl SparseMatrix {
             dense.rows(),
             dense.cols()
         );
+    }
+
+    /// Sparse × dense product, parallelised over output rows via the shared
+    /// `ppfr_linalg::parallel` idiom.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        self.spmm_check(dense);
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.n_rows, cols);
-        out.as_mut_slice()
-            .par_chunks_mut(cols)
-            .enumerate()
-            .for_each(|(r, out_row)| {
-                for (c, v) in self.row(r) {
-                    if v == 0.0 {
-                        continue;
-                    }
-                    let d_row = dense.row(c);
-                    for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
-                        *o += v * d;
-                    }
-                }
-            });
+        if cols == 0 || self.n_rows == 0 {
+            return out;
+        }
+        par_chunks(out.as_mut_slice(), cols, |r, out_row| {
+            self.spmm_row_into(r, dense, out_row);
+        });
+        out
+    }
+
+    /// Single-threaded reference implementation of
+    /// [`SparseMatrix::matmul_dense`]; kept for equivalence tests and
+    /// benchmark baselines.
+    pub fn matmul_dense_serial(&self, dense: &Matrix) -> Matrix {
+        self.spmm_check(dense);
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.n_rows, cols);
+        if cols == 0 {
+            return out;
+        }
+        for r in 0..self.n_rows {
+            self.spmm_row_into(r, dense, out.row_mut(r));
+        }
         out
     }
 
@@ -206,6 +239,29 @@ mod tests {
         let want = m.to_dense().transpose().matmul(&d);
         for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_spmm_equals_serial_exactly() {
+        // 40x40 ring-with-chords sparse matrix times a 40x5 dense matrix.
+        let n = 40;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            triplets.push((i, (i + 1) % n, 1.0 + i as f64 / 10.0));
+            triplets.push((i, (i * 7 + 3) % n, -0.5));
+        }
+        let m = SparseMatrix::from_triplets(n, n, &triplets);
+        let dense = Matrix::from_vec(n, 5, (0..n * 5).map(|v| (v as f64).cos()).collect());
+        let serial = m.matmul_dense_serial(&dense);
+        for threads in [1, 2, 4] {
+            let parallel =
+                ppfr_linalg::parallel::with_forced_threads(threads, || m.matmul_dense(&dense));
+            assert_eq!(
+                parallel.as_slice(),
+                serial.as_slice(),
+                "differs at {threads} threads"
+            );
         }
     }
 

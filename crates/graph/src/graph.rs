@@ -31,12 +31,20 @@ impl Graph {
         }
         let adj: Vec<Vec<usize>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
         let n_edges = adj.iter().map(Vec::len).sum::<usize>() / 2;
-        Self { n_nodes, adj, n_edges }
+        Self {
+            n_nodes,
+            adj,
+            n_edges,
+        }
     }
 
     /// Graph with no edges.
     pub fn empty(n_nodes: usize) -> Self {
-        Self { n_nodes, adj: vec![Vec::new(); n_nodes], n_edges: 0 }
+        Self {
+            n_nodes,
+            adj: vec![Vec::new(); n_nodes],
+            n_edges: 0,
+        }
     }
 
     /// Number of nodes `|V|`.
@@ -86,7 +94,9 @@ impl Graph {
     /// Symmetrically normalised adjacency with self loops:
     /// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` — the GCN propagation operator.
     pub fn normalized_adjacency(&self) -> SparseMatrix {
-        let deg_tilde: Vec<f64> = (0..self.n_nodes).map(|v| self.degree(v) as f64 + 1.0).collect();
+        let deg_tilde: Vec<f64> = (0..self.n_nodes)
+            .map(|v| self.degree(v) as f64 + 1.0)
+            .collect();
         let mut triplets = Vec::with_capacity(2 * self.n_edges + self.n_nodes);
         for u in 0..self.n_nodes {
             triplets.push((u, u, 1.0 / deg_tilde[u]));

@@ -17,5 +17,5 @@ pub use csr::SparseMatrix;
 pub use graph::Graph;
 pub use hops::{hop_histogram, k_hop_pairs, shortest_hops_from};
 pub use perturb::{add_edges, EdgePerturbation};
-pub use similarity::{jaccard_similarity, similarity_laplacian};
+pub use similarity::{jaccard_similarity, jaccard_similarity_serial, similarity_laplacian};
 pub use stats::{average_degree, edge_density, homophily, intra_inter_probabilities};

@@ -5,6 +5,7 @@
 //! which is what makes `S_{i,j} > 0` for 1-hop pairs (Lemma V.1, case k=1).
 
 use crate::{Graph, SparseMatrix};
+use ppfr_linalg::par_rows;
 use std::collections::BTreeSet;
 
 /// Size of the intersection of two sorted slices.
@@ -37,8 +38,30 @@ fn intersection_size(a: &[usize], b: &[usize]) -> usize {
 /// fairness signal and would only add a constant to the bias).
 pub fn jaccard_similarity(graph: &Graph) -> SparseMatrix {
     let n = graph.n_nodes();
-    // Closed neighbourhoods, sorted.
-    let closed: Vec<Vec<usize>> = (0..n)
+    let closed = closed_neighbourhoods(graph);
+    // Row i only reads the closed neighbourhoods, so rows are independent;
+    // computed in parallel and concatenated in row order — identical to the
+    // serial enumeration.
+    let per_row = par_rows(n, |i| jaccard_row(i, &closed));
+    let triplets: Vec<(usize, usize, f64)> = per_row.into_iter().flatten().collect();
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Single-threaded reference implementation of [`jaccard_similarity`]; kept
+/// for equivalence tests and benchmark baselines.
+pub fn jaccard_similarity_serial(graph: &Graph) -> SparseMatrix {
+    let n = graph.n_nodes();
+    let closed = closed_neighbourhoods(graph);
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        triplets.extend(jaccard_row(i, &closed));
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Sorted closed neighbourhoods `{v} ∪ neighbours(v)` for every node.
+fn closed_neighbourhoods(graph: &Graph) -> Vec<Vec<usize>> {
+    (0..graph.n_nodes())
         .map(|v| {
             let mut set: Vec<usize> = graph.neighbors(v).to_vec();
             match set.binary_search(&v) {
@@ -47,30 +70,31 @@ pub fn jaccard_similarity(graph: &Graph) -> SparseMatrix {
             }
             set
         })
-        .collect();
+        .collect()
+}
 
-    let mut triplets = Vec::new();
-    for i in 0..n {
-        // Candidate js: anything within two hops of i (via closed neighbourhoods).
-        let mut candidates: BTreeSet<usize> = BTreeSet::new();
-        for &u in &closed[i] {
-            for &w in &closed[u] {
-                if w != i {
-                    candidates.insert(w);
-                }
+/// All non-zero `(i, j, S_ij)` entries of row `i`; shared by the parallel and
+/// serial builders so both produce identical triplet sequences.
+fn jaccard_row(i: usize, closed: &[Vec<usize>]) -> Vec<(usize, usize, f64)> {
+    // Candidate js: anything within two hops of i (via closed neighbourhoods).
+    let mut candidates: BTreeSet<usize> = BTreeSet::new();
+    for &u in &closed[i] {
+        for &w in &closed[u] {
+            if w != i {
+                candidates.insert(w);
             }
-        }
-        for &j in &candidates {
-            let inter = intersection_size(&closed[i], &closed[j]);
-            if inter == 0 {
-                continue;
-            }
-            let union = closed[i].len() + closed[j].len() - inter;
-            let s = inter as f64 / union as f64;
-            triplets.push((i, j, s));
         }
     }
-    SparseMatrix::from_triplets(n, n, &triplets)
+    let mut row = Vec::with_capacity(candidates.len());
+    for &j in &candidates {
+        let inter = intersection_size(&closed[i], &closed[j]);
+        if inter == 0 {
+            continue;
+        }
+        let union = closed[i].len() + closed[j].len() - inter;
+        row.push((i, j, inter as f64 / union as f64));
+    }
+    row
 }
 
 /// Laplacian `L_S = D_S − S` of a (symmetric) similarity matrix, where `D_S`
@@ -121,15 +145,15 @@ mod tests {
         let s = jaccard_similarity(&g);
         for i in 0..5 {
             let hops = shortest_hops_from(&g, i);
-            for j in 0..5 {
+            for (j, &hop) in hops.iter().enumerate() {
                 if i == j {
                     continue;
                 }
                 let sij = s.get(i, j);
-                if hops[j] <= 2 {
-                    assert!(sij > 0.0, "pair ({i},{j}) at hop {} should have S>0", hops[j]);
+                if hop <= 2 {
+                    assert!(sij > 0.0, "pair ({i},{j}) at hop {hop} should have S>0");
                 } else {
-                    assert_eq!(sij, 0.0, "pair ({i},{j}) at hop {} should have S=0", hops[j]);
+                    assert_eq!(sij, 0.0, "pair ({i},{j}) at hop {hop} should have S=0");
                 }
             }
         }
@@ -150,13 +174,19 @@ mod tests {
         let s = jaccard_similarity(&g);
         let l = similarity_laplacian(&s);
         for r in 0..5 {
-            assert!(l.row_sum(r).abs() < 1e-12, "Laplacian row {r} must sum to 0");
+            assert!(
+                l.row_sum(r).abs() < 1e-12,
+                "Laplacian row {r} must sum to 0"
+            );
         }
         // xᵀ L x = ½ Σ S_ij (x_i - x_j)² ≥ 0 for arbitrary x.
         let x = Matrix::from_rows(&[vec![1.0], vec![-2.0], vec![0.5], vec![3.0], vec![0.0]]);
         let lx = l.matmul_dense(&x);
         let quad: f64 = (0..5).map(|i| x[(i, 0)] * lx[(i, 0)]).sum();
-        assert!(quad >= -1e-12, "Laplacian quadratic form must be non-negative, got {quad}");
+        assert!(
+            quad >= -1e-12,
+            "Laplacian quadratic form must be non-negative, got {quad}"
+        );
     }
 
     #[test]
@@ -175,7 +205,30 @@ mod tests {
             let d = x[(i, 0)] - x[(j, 0)];
             pairwise += 0.5 * v * d * d;
         }
-        assert!((quad - pairwise).abs() < 1e-9, "Tr form {quad} vs pairwise {pairwise}");
+        assert!(
+            (quad - pairwise).abs() < 1e-9,
+            "Tr form {quad} vs pairwise {pairwise}"
+        );
+    }
+
+    #[test]
+    fn parallel_jaccard_equals_serial_exactly() {
+        // Ring with chords: rich 2-hop structure across many rows.
+        let n = 30;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            if i % 3 == 0 {
+                edges.push((i, (i + 7) % n));
+            }
+        }
+        let g = Graph::from_edges(n, &edges);
+        let serial = jaccard_similarity_serial(&g);
+        for threads in [1, 2, 4] {
+            let parallel =
+                ppfr_linalg::parallel::with_forced_threads(threads, || jaccard_similarity(&g));
+            assert_eq!(parallel, serial, "similarity differs at {threads} threads");
+        }
     }
 
     #[test]

@@ -65,8 +65,16 @@ pub fn intra_inter_probabilities(graph: &Graph, labels: &[usize]) -> (f64, f64) 
             inter_edges += 1;
         }
     }
-    let p = if intra_pairs == 0 { 0.0 } else { intra_edges as f64 / intra_pairs as f64 };
-    let q = if inter_pairs == 0 { 0.0 } else { inter_edges as f64 / inter_pairs as f64 };
+    let p = if intra_pairs == 0 {
+        0.0
+    } else {
+        intra_edges as f64 / intra_pairs as f64
+    };
+    let q = if inter_pairs == 0 {
+        0.0
+    } else {
+        inter_edges as f64 / inter_pairs as f64
+    };
     (p, q)
 }
 

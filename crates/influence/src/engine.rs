@@ -6,8 +6,8 @@ use crate::{
 };
 use ppfr_gnn::{AnyModel, GraphContext};
 use ppfr_graph::SparseMatrix;
+use ppfr_linalg::par_rows;
 use ppfr_privacy::PairSample;
-use rayon::prelude::*;
 
 /// Hyper-parameters of the influence computation.
 #[derive(Debug, Clone)]
@@ -24,7 +24,12 @@ pub struct InfluenceConfig {
 
 impl Default for InfluenceConfig {
     fn default() -> Self {
-        Self { damping: 0.01, cg_iters: 30, cg_tol: 1e-6, fd_step: 1e-4 }
+        Self {
+            damping: 0.01,
+            cg_iters: 30,
+            cg_tol: 1e-6,
+            fd_step: 1e-4,
+        }
     }
 }
 
@@ -58,13 +63,13 @@ pub fn influence_on(
         hessian_vector_product(model, ctx, labels, train_ids, v, cfg.fd_step, cfg.damping)
     };
     let s_f = conjugate_gradient(apply, grad_f, cfg.cg_iters, cfg.cg_tol);
-    train_ids
-        .par_iter()
-        .map(|&v| {
-            let g_v = node_loss_grad(model, ctx, labels, v);
-            -s_f.iter().zip(g_v.iter()).map(|(&a, &b)| a * b).sum::<f64>()
-        })
-        .collect()
+    par_rows(train_ids.len(), |i| {
+        let g_v = node_loss_grad(model, ctx, labels, train_ids[i]);
+        -s_f.iter()
+            .zip(g_v.iter())
+            .map(|(&a, &b)| a * b)
+            .sum::<f64>()
+    })
 }
 
 /// Computes [`InfluenceSet`] for the model at its current (vanilla-trained)
@@ -109,28 +114,69 @@ mod tests {
     }
 
     fn trained_setup() -> Setup {
-        let ds = generate(&two_block_synthetic(), 21);
+        let ds = generate(&two_block_synthetic(), 7);
         let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
         let mut model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 6, ds.n_classes, 5);
         let weights = vec![1.0; ds.splits.train.len()];
-        let cfg = TrainConfig { epochs: 80, lr: 0.02, weight_decay: 5e-4, seed: 1 };
-        train(&mut model, &ctx, &ds.labels, &ds.splits.train, &weights, None, &cfg);
+        let cfg = TrainConfig {
+            epochs: 80,
+            lr: 0.02,
+            weight_decay: 5e-4,
+            seed: 1,
+        };
+        train(
+            &mut model,
+            &ctx,
+            &ds.labels,
+            &ds.splits.train,
+            &weights,
+            None,
+            &cfg,
+        );
         let s = jaccard_similarity(&ds.graph);
         let l_s = similarity_laplacian(&s);
         let mut rng = StdRng::seed_from_u64(2);
         let sample = PairSample::balanced(&ds.graph, &mut rng);
-        Setup { model, ctx, labels: ds.labels, train_ids: ds.splits.train, l_s, sample }
+        Setup {
+            model,
+            ctx,
+            labels: ds.labels,
+            train_ids: ds.splits.train,
+            l_s,
+            sample,
+        }
     }
 
     #[test]
     fn influences_are_finite_and_aligned_with_training_nodes() {
         let s = trained_setup();
-        let cfg = InfluenceConfig { cg_iters: 15, ..Default::default() };
-        let inf = compute_influences(&s.model, &s.ctx, &s.labels, &s.train_ids, &s.l_s, &s.sample, &cfg);
-        for (name, values) in [("util", &inf.util), ("bias", &inf.bias), ("risk", &inf.risk)] {
+        let cfg = InfluenceConfig {
+            cg_iters: 15,
+            ..Default::default()
+        };
+        let inf = compute_influences(
+            &s.model,
+            &s.ctx,
+            &s.labels,
+            &s.train_ids,
+            &s.l_s,
+            &s.sample,
+            &cfg,
+        );
+        for (name, values) in [
+            ("util", &inf.util),
+            ("bias", &inf.bias),
+            ("risk", &inf.risk),
+        ] {
             assert_eq!(values.len(), s.train_ids.len(), "{name} length");
-            assert!(values.iter().all(|v| v.is_finite()), "{name} contains non-finite values");
-            assert!(values.iter().any(|&v| v != 0.0), "{name} is identically zero");
+            assert!(
+                values.iter().all(|v| v.is_finite()),
+                "{name} contains non-finite values"
+            );
+            assert!(
+                values.iter().any(|&v| v != 0.0),
+                "{name} is identically zero"
+            );
         }
         // Pearson correlation of bias/risk influences must be a valid value in [-1, 1].
         let r = pearson(&inf.bias, &inf.risk);
@@ -144,7 +190,10 @@ mod tests {
         // (This is the first-order approximation of Eq. (8); we only check the
         // direction on the extreme node, which is what the QCLP exploits.)
         let s = trained_setup();
-        let cfg = InfluenceConfig { cg_iters: 20, ..Default::default() };
+        let cfg = InfluenceConfig {
+            cg_iters: 20,
+            ..Default::default()
+        };
         let grad_bias = bias_grad_wrt_params(&s.model, &s.ctx, &s.l_s);
         let inf_bias = influence_on(&s.model, &s.ctx, &s.labels, &s.train_ids, &grad_bias, &cfg);
 
@@ -175,7 +224,12 @@ mod tests {
                 .collect();
             let weights = vec![1.0; kept.len()];
             let mut model = AnyModel::new(ModelKind::Gcn, s.ctx.feat_dim(), 6, 2, 5);
-            let cfg = TrainConfig { epochs: 80, lr: 0.02, weight_decay: 5e-4, seed: 1 };
+            let cfg = TrainConfig {
+                epochs: 80,
+                lr: 0.02,
+                weight_decay: 5e-4,
+                seed: 1,
+            };
             train(&mut model, &s.ctx, &s.labels, &kept, &weights, None, &cfg);
             let probs = row_softmax(&model.forward(&s.ctx));
             bias(&probs, &s.l_s)

@@ -74,7 +74,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (AnyModel, GraphContext, Vec<usize>, Vec<usize>, SparseMatrix, PairSample) {
+    fn setup() -> (
+        AnyModel,
+        GraphContext,
+        Vec<usize>,
+        Vec<usize>,
+        SparseMatrix,
+        PairSample,
+    ) {
         let ds = generate(&two_block_synthetic(), 3);
         let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
         let model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 6, ds.n_classes, 5);
@@ -82,7 +89,14 @@ mod tests {
         let l = similarity_laplacian(&s);
         let mut rng = StdRng::seed_from_u64(1);
         let sample = PairSample::balanced(&ds.graph, &mut rng);
-        (model, ctx, ds.labels.clone(), ds.splits.train.clone(), l, sample)
+        (
+            model,
+            ctx,
+            ds.labels.clone(),
+            ds.splits.train.clone(),
+            l,
+            sample,
+        )
     }
 
     #[test]
@@ -113,7 +127,7 @@ mod tests {
         };
         // Spot-check a subset of coordinates to keep the test fast.
         let params = model.params();
-        let numeric = central_difference(&f, &params, 1e-5);
+        let numeric = central_difference(f, &params, 1e-5);
         let mut checked = 0;
         for i in (0..params.len()).step_by(params.len() / 25 + 1) {
             assert!(
@@ -133,6 +147,9 @@ mod tests {
         let grad = risk_grad_wrt_params(&model, &ctx, &sample);
         assert_eq!(grad.len(), model.n_params());
         assert!(grad.iter().all(|g| g.is_finite()));
-        assert!(grad.iter().any(|&g| g.abs() > 0.0), "risk gradient should not be identically zero");
+        assert!(
+            grad.iter().any(|&g| g.abs() > 0.0),
+            "risk gradient should not be identically zero"
+        );
     }
 }

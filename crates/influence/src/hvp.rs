@@ -2,6 +2,7 @@
 
 use crate::training_loss_grad;
 use ppfr_gnn::{AnyModel, GnnModel, GraphContext};
+use ppfr_linalg::par_join;
 
 /// Hessian-vector product `(H + damping·I) v` where `H` is the Hessian of the
 /// *mean* training loss at the model's current parameters.
@@ -25,21 +26,20 @@ pub fn hessian_vector_product(
     }
     let eps = fd_step / norm;
     let theta = model.params();
-    let mut work = model.clone();
 
-    let mut plus = theta.clone();
-    for (p, &vi) in plus.iter_mut().zip(v) {
-        *p += eps * vi;
-    }
-    work.set_params(&plus);
-    let g_plus = training_loss_grad(&work, ctx, labels, train_ids);
-
-    let mut minus = theta.clone();
-    for (p, &vi) in minus.iter_mut().zip(v) {
-        *p -= eps * vi;
-    }
-    work.set_params(&minus);
-    let g_minus = training_loss_grad(&work, ctx, labels, train_ids);
+    // The two finite-difference gradient evaluations are independent; run
+    // them concurrently via the shared parallel idiom, each on its own model
+    // clone.
+    let grad_at = |direction: f64| {
+        let mut shifted = theta.clone();
+        for (p, &vi) in shifted.iter_mut().zip(v) {
+            *p += direction * eps * vi;
+        }
+        let mut work = model.clone();
+        work.set_params(&shifted);
+        training_loss_grad(&work, ctx, labels, train_ids)
+    };
+    let (g_plus, g_minus) = par_join(|| grad_at(1.0), || grad_at(-1.0));
 
     g_plus
         .iter()
@@ -102,7 +102,12 @@ mod tests {
     fn conjugate_gradient_solves_a_small_spd_system() {
         // A = [[4,1],[1,3]], b = [1,2]  →  x = [1/11, 7/11].
         let a = [[4.0, 1.0], [1.0, 3.0]];
-        let apply = |v: &[f64]| vec![a[0][0] * v[0] + a[0][1] * v[1], a[1][0] * v[0] + a[1][1] * v[1]];
+        let apply = |v: &[f64]| {
+            vec![
+                a[0][0] * v[0] + a[0][1] * v[1],
+                a[1][0] * v[0] + a[1][1] * v[1],
+            ]
+        };
         let x = conjugate_gradient(apply, &[1.0, 2.0], 50, 1e-12);
         assert!((x[0] - 1.0 / 11.0).abs() < 1e-9);
         assert!((x[1] - 7.0 / 11.0).abs() < 1e-9);
@@ -133,7 +138,11 @@ mod tests {
         let two_u: Vec<f64> = u.iter().map(|x| 2.0 * x).collect();
         let h2u = hvp(&two_u);
         for (a, b) in h2u.iter().zip(hu.iter()) {
-            assert!((a - 2.0 * b).abs() < 1e-3 * b.abs().max(1e-3), "homogeneity violated: {a} vs {}", 2.0 * b);
+            assert!(
+                (a - 2.0 * b).abs() < 1e-3 * b.abs().max(1e-3),
+                "homogeneity violated: {a} vs {}",
+                2.0 * b
+            );
         }
     }
 
@@ -144,10 +153,35 @@ mod tests {
         let model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 4, ds.n_classes, 3);
         let dim = model.n_params();
         let v = vec![1.0; dim];
-        let no_damp = hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.0);
-        let damped = hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.5);
+        let no_damp =
+            hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.0);
+        let damped =
+            hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.5);
         for (a, b) in damped.iter().zip(no_damp.iter()) {
-            assert!((a - b - 0.5).abs() < 1e-6, "damping must add exactly 0.5·v: {a} vs {b}");
+            assert!(
+                (a - b - 0.5).abs() < 1e-6,
+                "damping must add exactly 0.5·v: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn hvp_is_identical_across_thread_counts() {
+        let ds = generate(&two_block_synthetic(), 14);
+        let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+        let model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 4, ds.n_classes, 6);
+        let mut rng = StdRng::seed_from_u64(15);
+        let v: Vec<f64> = (0..model.n_params())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let hvp_at = |threads: usize| {
+            ppfr_linalg::parallel::with_forced_threads(threads, || {
+                hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.1)
+            })
+        };
+        let single = hvp_at(1);
+        for threads in [2, 4] {
+            assert_eq!(hvp_at(threads), single, "HVP differs at {threads} threads");
         }
     }
 

@@ -21,8 +21,16 @@ fn sq_distance(probs: &Matrix, u: usize, v: usize) -> f64 {
 
 /// The normalised risk score with squared-euclidean pair distances.
 pub fn sq_risk_score(probs: &Matrix, sample: &PairSample) -> f64 {
-    let d1: Vec<f64> = sample.positives.iter().map(|&(u, v)| sq_distance(probs, u, v)).collect();
-    let d0: Vec<f64> = sample.negatives.iter().map(|&(u, v)| sq_distance(probs, u, v)).collect();
+    let d1: Vec<f64> = sample
+        .positives
+        .iter()
+        .map(|&(u, v)| sq_distance(probs, u, v))
+        .collect();
+    let d0: Vec<f64> = sample
+        .negatives
+        .iter()
+        .map(|&(u, v)| sq_distance(probs, u, v))
+        .collect();
     let gap = (mean(&d0) - mean(&d1)).abs();
     let denom = (variance(&d0) + variance(&d1)).max(1e-9);
     2.0 * gap / denom
@@ -30,8 +38,16 @@ pub fn sq_risk_score(probs: &Matrix, sample: &PairSample) -> f64 {
 
 /// Analytic gradient of [`sq_risk_score`] w.r.t. the probabilities.
 pub fn sq_risk_gradient_wrt_probs(probs: &Matrix, sample: &PairSample) -> Matrix {
-    let d1: Vec<f64> = sample.positives.iter().map(|&(u, v)| sq_distance(probs, u, v)).collect();
-    let d0: Vec<f64> = sample.negatives.iter().map(|&(u, v)| sq_distance(probs, u, v)).collect();
+    let d1: Vec<f64> = sample
+        .positives
+        .iter()
+        .map(|&(u, v)| sq_distance(probs, u, v))
+        .collect();
+    let d0: Vec<f64> = sample
+        .negatives
+        .iter()
+        .map(|&(u, v)| sq_distance(probs, u, v))
+        .collect();
     let m1 = d1.len().max(1) as f64;
     let m0 = d0.len().max(1) as f64;
     let mean1 = mean(&d1);
@@ -46,10 +62,12 @@ pub fn sq_risk_gradient_wrt_probs(probs: &Matrix, sample: &PairSample) -> Matrix
     //   ∂|D0 − D1|/∂d_i = −sign / m1
     //   ∂V/∂d_i        = 2 (d_i − D1) / m1
     let df_dd1 = |d_i: f64| -> f64 {
-        (2.0 / var_sum) * (-sign / m1) - (2.0 * abs_gap / (var_sum * var_sum)) * (2.0 * (d_i - mean1) / m1)
+        (2.0 / var_sum) * (-sign / m1)
+            - (2.0 * abs_gap / (var_sum * var_sum)) * (2.0 * (d_i - mean1) / m1)
     };
     let df_dd0 = |d_i: f64| -> f64 {
-        (2.0 / var_sum) * (sign / m0) - (2.0 * abs_gap / (var_sum * var_sum)) * (2.0 * (d_i - mean0) / m0)
+        (2.0 / var_sum) * (sign / m0)
+            - (2.0 * abs_gap / (var_sum * var_sum)) * (2.0 * (d_i - mean0) / m0)
     };
 
     let mut grad = Matrix::zeros(probs.rows(), probs.cols());
@@ -107,7 +125,8 @@ mod tests {
                 plus[(r, c)] += h;
                 let mut minus = probs.clone();
                 minus[(r, c)] -= h;
-                let numeric = (sq_risk_score(&plus, &sample) - sq_risk_score(&minus, &sample)) / (2.0 * h);
+                let numeric =
+                    (sq_risk_score(&plus, &sample) - sq_risk_score(&minus, &sample)) / (2.0 * h);
                 assert!(
                     (numeric - grad[(r, c)]).abs() < 1e-4 * numeric.abs().max(1.0),
                     "({r},{c}): numeric {numeric} vs analytic {}",

@@ -9,10 +9,15 @@
 
 mod matrix;
 mod ops;
+pub mod parallel;
 mod stats;
 
 pub use matrix::Matrix;
-pub use ops::{leaky_relu, leaky_relu_grad, relu, relu_grad, row_softmax, row_softmax_backward};
+pub use ops::{
+    leaky_relu, leaky_relu_grad, relu, relu_grad, row_softmax, row_softmax_backward,
+    row_softmax_serial,
+};
+pub use parallel::{par_chunks, par_join, par_rows};
 pub use stats::{mean, pearson, std_dev, variance};
 
 /// Numerical tolerance used by tests and iterative solvers in downstream

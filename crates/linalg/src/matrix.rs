@@ -1,8 +1,8 @@
 //! A small row-major dense matrix of `f64`.
 
+use crate::parallel::par_chunks;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
-use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -32,12 +32,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -54,7 +62,11 @@ impl Matrix {
     /// # Panics
     /// Panics when `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -70,7 +82,11 @@ impl Matrix {
             assert_eq!(r.len(), n_cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Self { rows: n_rows, cols: n_cols, data }
+        Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
     }
 
     /// Glorot/Xavier-style random initialisation used for GNN weights.
@@ -84,7 +100,13 @@ impl Matrix {
     }
 
     /// Gaussian random matrix (used by synthetic feature generators).
-    pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut R) -> Self {
+    pub fn gaussian<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        mean: f64,
+        std: f64,
+        rng: &mut R,
+    ) -> Self {
         let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
         let mut m = Self::zeros(rows, cols);
         for v in &mut m.data {
@@ -156,33 +178,56 @@ impl Matrix {
         out
     }
 
-    /// Dense matrix product `self * other`, parallelised over rows.
-    ///
-    /// # Panics
-    /// Panics when inner dimensions disagree.
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
+    /// One output row of the dense product: `out_row += a_row * other`.
+    /// Shared by the parallel and serial matmul so both produce bit-identical
+    /// results.
+    #[inline]
+    fn matmul_row_into(a_row: &[f64], other: &Matrix, out_row: &mut [f64]) {
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = other.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
+
+    fn matmul_check(&self, other: &Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+    }
+
+    /// Dense matrix product `self * other`, parallelised over output rows via
+    /// the shared [`crate::parallel`] idiom.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_check(other);
         let mut out = Matrix::zeros(self.rows, other.cols);
+        if out.data.is_empty() {
+            return out;
+        }
         let oc = other.cols;
-        out.data
-            .par_chunks_mut(oc)
-            .enumerate()
-            .for_each(|(r, out_row)| {
-                let a_row = self.row(r);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-            });
+        par_chunks(&mut out.data, oc, |r, out_row| {
+            Self::matmul_row_into(self.row(r), other, out_row);
+        });
+        out
+    }
+
+    /// Single-threaded reference implementation of [`Matrix::matmul`]; kept
+    /// for equivalence tests and benchmark baselines.
+    pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
+        self.matmul_check(other);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            Self::matmul_row_into(self.row(r), other, out.row_mut(r));
+        }
         out
     }
 
@@ -210,7 +255,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise map.
@@ -403,6 +452,24 @@ mod tests {
         let b = Matrix::filled(2, 2, 2.0);
         a.add_scaled_inplace(&b, 0.5);
         assert!(a.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn parallel_matmul_equals_serial_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [(1, 1, 1), (5, 3, 7), (17, 9, 4), (64, 32, 16)] {
+            let a = Matrix::gaussian(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::gaussian(k, n, 0.0, 1.0, &mut rng);
+            let serial = a.matmul_serial(&b);
+            for threads in [1, 3, 4] {
+                let parallel = crate::parallel::with_forced_threads(threads, || a.matmul(&b));
+                assert_eq!(
+                    parallel.as_slice(),
+                    serial.as_slice(),
+                    "{m}x{k}*{k}x{n} differs at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

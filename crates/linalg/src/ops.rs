@@ -1,5 +1,6 @@
 //! Activation functions, row-wise softmax and their gradients.
 
+use crate::parallel::par_chunks;
 use crate::Matrix;
 
 /// Rectified linear unit applied element-wise.
@@ -30,22 +31,41 @@ pub fn leaky_relu_grad(v: f64, alpha: f64) -> f64 {
     }
 }
 
-/// Numerically-stable row-wise softmax: each row of the result sums to one.
+/// One softmax row in place; shared by the parallel and serial entry points
+/// so both produce bit-identical results.
+#[inline]
+fn softmax_row_inplace(row: &mut [f64]) {
+    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Numerically-stable row-wise softmax, parallelised over rows: each row of
+/// the result sums to one.
 pub fn row_softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    let cols = out.cols();
+    if cols == 0 || out.rows() == 0 {
+        return out;
+    }
+    par_chunks(out.as_mut_slice(), cols, |_, row| softmax_row_inplace(row));
+    out
+}
+
+/// Single-threaded reference implementation of [`row_softmax`]; kept for
+/// equivalence tests and benchmark baselines.
+pub fn row_softmax_serial(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
     for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        if sum > 0.0 {
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        }
+        softmax_row_inplace(out.row_mut(r));
     }
     out
 }
@@ -57,14 +77,18 @@ pub fn row_softmax(logits: &Matrix) -> Matrix {
 pub fn row_softmax_backward(probs: &Matrix, d_probs: &Matrix) -> Matrix {
     assert_eq!(probs.shape(), d_probs.shape(), "shape mismatch");
     let mut out = Matrix::zeros(probs.rows(), probs.cols());
-    for r in 0..probs.rows() {
+    let cols = probs.cols();
+    if cols == 0 || probs.rows() == 0 {
+        return out;
+    }
+    par_chunks(out.as_mut_slice(), cols, |r, out_row| {
         let p = probs.row(r);
         let dp = d_probs.row(r);
         let inner: f64 = p.iter().zip(dp.iter()).map(|(&pi, &di)| pi * di).sum();
-        for c in 0..probs.cols() {
-            out[(r, c)] = p[c] * (dp[c] - inner);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            *o = p[c] * (dp[c] - inner);
         }
-    }
+    });
     out
 }
 
@@ -118,13 +142,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_softmax_equals_serial_exactly() {
+        let logits = Matrix::from_rows(
+            &(0..40)
+                .map(|r| (0..7).map(|c| ((r * 7 + c) as f64).sin() * 3.0).collect())
+                .collect::<Vec<_>>(),
+        );
+        let serial = row_softmax_serial(&logits);
+        for threads in [1, 2, 4] {
+            let parallel = crate::parallel::with_forced_threads(threads, || row_softmax(&logits));
+            assert_eq!(
+                parallel.as_slice(),
+                serial.as_slice(),
+                "differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
     fn softmax_backward_matches_finite_difference() {
         let logits = Matrix::from_rows(&[vec![0.3, -0.7, 1.2]]);
         // Arbitrary smooth function of the probabilities: f(P) = sum c_i * P_i^2
         let coeff = [0.5, -1.5, 2.0];
         let f = |z: &Matrix| -> f64 {
             let p = row_softmax(z);
-            p.row(0).iter().zip(coeff.iter()).map(|(&pi, &ci)| ci * pi * pi).sum()
+            p.row(0)
+                .iter()
+                .zip(coeff.iter())
+                .map(|(&pi, &ci)| ci * pi * pi)
+                .sum()
         };
         let probs = row_softmax(&logits);
         let d_probs = Matrix::from_rows(&[probs

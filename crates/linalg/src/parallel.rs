@@ -1,0 +1,140 @@
+//! The shared parallel-iteration idiom of the PPFR stack.
+//!
+//! Every hot kernel in the workspace — dense matmul and row-wise softmax
+//! here, CSR SpMM and Jaccard similarity in `ppfr_graph`, the
+//! Hessian-vector products and per-node influence dot products in
+//! `ppfr_influence`, the GAT attention projections in `ppfr_gnn` — funnels
+//! through the three helpers in this module instead of touching rayon
+//! directly:
+//!
+//! * [`par_chunks`] — partition a flat buffer into equal-length mutable
+//!   chunks (matrix rows) and fill each chunk independently;
+//! * [`par_rows`] — compute one owned value per row index and collect them
+//!   in order;
+//! * [`par_join`] — run two independent closures concurrently.
+//!
+//! Centralising the idiom keeps the parallel surface auditable (one module
+//! decides how threads are used), makes serial/parallel equivalence testable
+//! per kernel, and gives later PRs a single seam for swapping the execution
+//! backend (thread pools, SIMD blocking, accelerators).
+
+pub use rayon::current_num_threads;
+use rayon::prelude::*;
+
+/// Splits `data` into consecutive `chunk_len`-sized mutable chunks (matrix
+/// rows, typically) and applies `f(chunk_index, chunk)` to each in parallel.
+///
+/// # Panics
+/// Panics when `chunk_len` is zero or does not divide `data.len()`.
+pub fn par_chunks(data: &mut [f64], chunk_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "buffer of {} does not split into {}-element chunks",
+        data.len(),
+        chunk_len
+    );
+    data.par_chunks_mut(chunk_len)
+        .enumerate()
+        .for_each(|(i, chunk)| f(i, chunk));
+}
+
+/// Computes `f(row)` for every `row in 0..n_rows` in parallel and returns the
+/// results in row order.
+pub fn par_rows<T: Send>(n_rows: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    (0..n_rows).into_par_iter().map(f).collect()
+}
+
+/// Runs both closures, potentially concurrently, and returns both results.
+pub fn par_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    rayon::join(a, b)
+}
+
+/// Runs `f` with the worker-thread count forced to `n`.
+///
+/// Exists for the serial-vs-parallel equivalence tests, which must exercise
+/// the real multi-threaded partitioning even on single-core CI machines.
+/// Calls are serialised process-wide; concurrent *other* parallel calls may
+/// briefly observe the override, which is harmless because every kernel is
+/// required to produce thread-count-independent results — the very property
+/// the equivalence tests assert.
+pub fn with_forced_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    use std::sync::Mutex;
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _lock = GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+
+    struct Restore(Option<String>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(prev) => std::env::set_var("PPFR_NUM_THREADS", prev),
+                None => std::env::remove_var("PPFR_NUM_THREADS"),
+            }
+        }
+    }
+    let _restore = Restore(std::env::var("PPFR_NUM_THREADS").ok());
+    std::env::set_var("PPFR_NUM_THREADS", n.to_string());
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_visits_every_chunk_once() {
+        let mut data = vec![0.0; 12];
+        par_chunks(&mut data, 3, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += (i + 1) as f64;
+            }
+        });
+        assert_eq!(data[0], 1.0);
+        assert_eq!(data[3], 2.0);
+        assert_eq!(data[11], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not split")]
+    fn par_chunks_rejects_ragged_buffers() {
+        let mut data = vec![0.0; 10];
+        par_chunks(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn par_rows_preserves_order() {
+        let squares = par_rows(100, |r| (r * r) as f64);
+        assert_eq!(squares.len(), 100);
+        for (r, &v) in squares.iter().enumerate() {
+            assert_eq!(v, (r * r) as f64);
+        }
+    }
+
+    #[test]
+    fn par_join_runs_both_sides() {
+        let (a, b) = par_join(|| vec![1.0; 4], || "right");
+        assert_eq!(a.len(), 4);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn forced_threads_cover_multi_threaded_partitioning() {
+        let serial: Vec<f64> = (0..1000).map(|r| (r as f64).sin()).collect();
+        for threads in [1, 2, 4, 7] {
+            let parallel = with_forced_threads(threads, || {
+                assert_eq!(current_num_threads(), threads);
+                par_rows(1000, |r| (r as f64).sin())
+            });
+            assert_eq!(parallel, serial, "results differ at {threads} threads");
+        }
+    }
+}

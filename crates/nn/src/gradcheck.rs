@@ -39,13 +39,20 @@ mod tests {
         let f = |x: &[f64]| x.iter().enumerate().map(|(i, &v)| i as f64 * v * v).sum();
         let x = vec![1.0, -2.0, 0.5, 3.0];
         let numeric = central_difference(f, &x, 1e-5);
-        let analytic: Vec<f64> = x.iter().enumerate().map(|(i, &v)| 2.0 * i as f64 * v).collect();
+        let analytic: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * i as f64 * v)
+            .collect();
         assert!(max_relative_error(&analytic, &numeric, 1e-8) < 1e-6);
     }
 
     #[test]
     fn relative_error_uses_floor_for_tiny_values() {
         let err = max_relative_error(&[1e-15], &[0.0], 1e-6);
-        assert!(err < 1e-8, "tiny absolute differences should not explode: {err}");
+        assert!(
+            err < 1e-8,
+            "tiny absolute differences should not explode: {err}"
+        );
     }
 }

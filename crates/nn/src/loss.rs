@@ -26,7 +26,11 @@ pub fn weighted_cross_entropy(
     node_ids: &[usize],
     weights: &[f64],
 ) -> CrossEntropy {
-    assert_eq!(node_ids.len(), weights.len(), "one weight per supervised node");
+    assert_eq!(
+        node_ids.len(),
+        weights.len(),
+        "one weight per supervised node"
+    );
     assert_eq!(logits.rows(), labels.len(), "one label per node");
     let probs = row_softmax(logits);
     let mut d_logits = Matrix::zeros(logits.rows(), logits.cols());
@@ -41,7 +45,11 @@ pub fn weighted_cross_entropy(
             d_logits[(v, c)] = w * (probs[(v, c)] - indicator) / norm;
         }
     }
-    CrossEntropy { loss: loss / norm, probs, d_logits }
+    CrossEntropy {
+        loss: loss / norm,
+        probs,
+        d_logits,
+    }
 }
 
 /// Classification accuracy of `logits` against `labels` restricted to
@@ -64,9 +72,15 @@ mod tests {
         let logits = Matrix::from_rows(&[vec![10.0, 0.0], vec![0.0, 10.0]]);
         let labels = vec![0, 1];
         let ce = weighted_cross_entropy(&logits, &labels, &[0, 1], &[1.0, 1.0]);
-        assert!(ce.loss < 1e-3, "confident correct predictions should have tiny loss");
+        assert!(
+            ce.loss < 1e-3,
+            "confident correct predictions should have tiny loss"
+        );
         let wrong = weighted_cross_entropy(&logits, &[1, 0], &[0, 1], &[1.0, 1.0]);
-        assert!(wrong.loss > 5.0, "confident wrong predictions should have large loss");
+        assert!(
+            wrong.loss > 5.0,
+            "confident wrong predictions should have large loss"
+        );
     }
 
     #[test]

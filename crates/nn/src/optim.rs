@@ -21,7 +21,10 @@ pub struct Sgd {
 impl Sgd {
     /// New SGD optimiser.
     pub fn new(lr: f64) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -58,7 +61,16 @@ pub struct Adam {
 impl Adam {
     /// New Adam optimiser with the usual defaults (β₁=0.9, β₂=0.999).
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 5e-4, m: Vec::new(), v: Vec::new(), t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 5e-4,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Builder-style override of the weight decay.
@@ -126,12 +138,19 @@ mod tests {
 
     #[test]
     fn weight_decay_pulls_parameters_towards_zero() {
-        let mut sgd = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let mut sgd = Sgd {
+            lr: 0.1,
+            weight_decay: 0.5,
+        };
         let mut x = vec![1.0];
         for _ in 0..100 {
             sgd.step(&mut x, &[0.0]);
         }
-        assert!(x[0].abs() < 1e-2, "weight decay should shrink parameters, got {}", x[0]);
+        assert!(
+            x[0].abs() < 1e-2,
+            "weight decay should shrink parameters, got {}",
+            x[0]
+        );
     }
 
     #[test]

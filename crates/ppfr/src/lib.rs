@@ -1,0 +1,28 @@
+//! Umbrella crate of the PPFR workspace.
+//!
+//! Re-exports every layer of the reproduction of *"Unraveling Privacy Risks
+//! of Individual Fairness in Graph Neural Networks"* (ICDE 2024) so the
+//! examples, integration tests and downstream users can depend on a single
+//! crate.  See the individual crates for the substance:
+//!
+//! * [`linalg`] — dense matrices and the shared parallel kernel layer;
+//! * [`graph`] — graphs, CSR sparse matrices, Jaccard similarity;
+//! * [`nn`] — losses, optimisers, gradient checking;
+//! * [`gnn`] — GCN/GAT/GraphSAGE and the training loop;
+//! * [`fairness`] — InFoRM bias and fairness metrics;
+//! * [`privacy`] — link-stealing attacks and edge-DP mechanisms;
+//! * [`influence`] — influence functions (HVP + conjugate gradient);
+//! * [`qclp`] — the fairness re-weighting QCLP solver;
+//! * [`datasets`] — synthetic stand-ins for the paper's datasets;
+//! * [`core`] — the PPFR pipeline, baselines and experiment drivers.
+
+pub use ppfr_core as core;
+pub use ppfr_datasets as datasets;
+pub use ppfr_fairness as fairness;
+pub use ppfr_gnn as gnn;
+pub use ppfr_graph as graph;
+pub use ppfr_influence as influence;
+pub use ppfr_linalg as linalg;
+pub use ppfr_nn as nn;
+pub use ppfr_privacy as privacy;
+pub use ppfr_qclp as qclp;

@@ -42,7 +42,10 @@ impl PairSample {
             }
             negatives.push((u.min(v), u.max(v)));
         }
-        Self { positives, negatives }
+        Self {
+            positives,
+            negatives,
+        }
     }
 
     /// Total number of sampled pairs.
@@ -121,7 +124,11 @@ pub struct ClusterAttackOutcome {
 
 /// The unsupervised attack variant of §IV: 2-means clustering of the pair
 /// distances; the cluster with the smaller centroid is predicted "connected".
-pub fn cluster_attack(probs: &Matrix, sample: &PairSample, kind: DistanceKind) -> ClusterAttackOutcome {
+pub fn cluster_attack(
+    probs: &Matrix,
+    sample: &PairSample,
+    kind: DistanceKind,
+) -> ClusterAttackOutcome {
     let pos = pair_distances(probs, &sample.positives, kind);
     let neg = pair_distances(probs, &sample.negatives, kind);
     let mut all: Vec<(f64, bool)> = pos
@@ -131,7 +138,12 @@ pub fn cluster_attack(probs: &Matrix, sample: &PairSample, kind: DistanceKind) -
         .collect();
     all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     if all.is_empty() {
-        return ClusterAttackOutcome { accuracy: 0.0, precision: 0.0, recall: 0.0, f1: 0.0 };
+        return ClusterAttackOutcome {
+            accuracy: 0.0,
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+        };
     }
     // 1-D 2-means via Lloyd iterations on the sorted distances.
     let mut c_low = all.first().unwrap().0;
@@ -174,10 +186,27 @@ pub fn cluster_attack(probs: &Matrix, sample: &PairSample, kind: DistanceKind) -
         }
     }
     let accuracy = (tp + tn) as f64 / all.len() as f64;
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
-    ClusterAttackOutcome { accuracy, precision, recall, f1 }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    ClusterAttackOutcome {
+        accuracy,
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +261,10 @@ mod tests {
         assert_eq!(sample.positives.len(), g.n_edges());
         assert!(sample.negatives.len() <= sample.positives.len());
         for &(u, v) in &sample.negatives {
-            assert!(!g.has_edge(u, v), "negative pair ({u},{v}) is actually an edge");
+            assert!(
+                !g.has_edge(u, v),
+                "negative pair ({u},{v}) is actually an edge"
+            );
         }
     }
 
@@ -252,7 +284,10 @@ mod tests {
         let (_, _, sample) = separable_setup();
         let probs = Matrix::filled(8, 2, 0.5);
         let avg = average_attack_auc(&probs, &sample);
-        assert!((avg - 0.5).abs() < 0.05, "no information ⇒ AUC ≈ 0.5, got {avg}");
+        assert!(
+            (avg - 0.5).abs() < 0.05,
+            "no information ⇒ AUC ≈ 0.5, got {avg}"
+        );
     }
 
     #[test]
@@ -270,6 +305,9 @@ mod tests {
         let shrunk = probs.map(|v| 0.5 + (v - 0.5) * 0.05);
         let sharp = average_attack_auc(&probs, &sample);
         let blur = average_attack_auc(&shrunk, &sample);
-        assert!(sharp >= blur, "shrinking prediction gaps must not increase AUC: {sharp} vs {blur}");
+        assert!(
+            sharp >= blur,
+            "shrinking prediction gaps must not increase AUC: {sharp} vs {blur}"
+        );
     }
 }

@@ -147,7 +147,11 @@ mod tests {
     fn distances_are_positive_for_distinct_vectors() {
         for kind in DistanceKind::ALL {
             let d = pairwise_distance(kind, &A, &B);
-            assert!(d > 0.0, "{}: expected positive distance, got {d}", kind.name());
+            assert!(
+                d > 0.0,
+                "{}: expected positive distance, got {d}",
+                kind.name()
+            );
         }
     }
 

@@ -32,10 +32,8 @@ pub fn edge_rand<R: Rng + ?Sized>(graph: &Graph, epsilon: f64, rng: &mut R) -> G
     let flip_prob = 1.0 - keep_prob;
 
     // Kept original edges.
-    let mut edges: Vec<(usize, usize)> = graph
-        .edges()
-        .filter(|_| rng.gen_bool(keep_prob))
-        .collect();
+    let mut edges: Vec<(usize, usize)> =
+        graph.edges().filter(|_| rng.gen_bool(keep_prob)).collect();
 
     // Injected noise edges: binomial over the non-edge cells, sampled lazily.
     let total_pairs = n * (n - 1) / 2;
@@ -120,7 +118,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let noisy = edge_rand(&g, 8.0, &mut rng);
         let kept = g.edges().filter(|&(u, v)| noisy.has_edge(u, v)).count();
-        assert!(kept as f64 > 0.9 * g.n_edges() as f64, "kept only {kept}/{}", g.n_edges());
+        assert!(
+            kept as f64 > 0.9 * g.n_edges() as f64,
+            "kept only {kept}/{}",
+            g.n_edges()
+        );
     }
 
     #[test]
@@ -131,7 +133,10 @@ mod tests {
         let kept = g.edges().filter(|&(u, v)| noisy.has_edge(u, v)).count();
         // With ε=0.1 the keep probability is ≈ 0.52, so roughly half survive.
         assert!(kept < g.n_edges(), "low epsilon must drop some edges");
-        assert!(noisy.n_edges() > g.n_edges(), "low epsilon must also inject many noise edges");
+        assert!(
+            noisy.n_edges() > g.n_edges(),
+            "low epsilon must also inject many noise edges"
+        );
     }
 
     #[test]
@@ -140,7 +145,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let noisy = lap_graph(&g, 5.0, &mut rng);
         let ratio = noisy.n_edges() as f64 / g.n_edges() as f64;
-        assert!(ratio > 0.5 && ratio < 1.6, "edge count ratio {ratio} too far from 1");
+        assert!(
+            ratio > 0.5 && ratio < 1.6,
+            "edge count ratio {ratio} too far from 1"
+        );
     }
 
     #[test]

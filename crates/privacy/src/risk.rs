@@ -62,7 +62,11 @@ mod tests {
         let mut probs = Matrix::zeros(6, 2);
         for v in 0..6 {
             let wiggle = v as f64 * 0.01;
-            let p = if v < 3 { 0.5 + separation / 2.0 } else { 0.5 - separation / 2.0 };
+            let p = if v < 3 {
+                0.5 + separation / 2.0
+            } else {
+                0.5 - separation / 2.0
+            };
             probs[(v, 0)] = p - wiggle;
             probs[(v, 1)] = 1.0 - p + wiggle;
         }
@@ -75,10 +79,18 @@ mod tests {
     fn larger_separation_means_larger_risk() {
         let (p_small, s_small) = setup(0.1);
         let (p_large, s_large) = setup(0.8);
-        for kind in [DistanceKind::Euclidean, DistanceKind::Cityblock, DistanceKind::Cosine] {
+        for kind in [
+            DistanceKind::Euclidean,
+            DistanceKind::Cityblock,
+            DistanceKind::Cosine,
+        ] {
             let small = prediction_distance_gap(&p_small, &s_small, kind);
             let large = prediction_distance_gap(&p_large, &s_large, kind);
-            assert!(large > small, "{}: gap {large} should exceed {small}", kind.name());
+            assert!(
+                large > small,
+                "{}: gap {large} should exceed {small}",
+                kind.name()
+            );
         }
     }
 

@@ -27,7 +27,8 @@ pub struct EdgeSensitivityInputs {
 /// Expected embedding-distance sensitivity `E[Δd(v_i, v_j)]` of Eq. (20).
 pub fn edge_sensitivity(inputs: &EdgeSensitivityInputs) -> f64 {
     assert!(
-        inputs.hetero_neighbors_i <= inputs.degree_i && inputs.hetero_neighbors_j <= inputs.degree_j,
+        inputs.hetero_neighbors_i <= inputs.degree_i
+            && inputs.hetero_neighbors_j <= inputs.degree_j,
         "heterophilic neighbour count cannot exceed the degree"
     );
     let term = |hetero: usize, degree: usize| {
@@ -51,10 +52,16 @@ mod tests {
             degree_j: 6,
             hetero_neighbors_j: 0,
         };
-        let wide = EdgeSensitivityInputs { class_mean_gap: 3.0, ..base };
+        let wide = EdgeSensitivityInputs {
+            class_mean_gap: 3.0,
+            ..base
+        };
         let s1 = edge_sensitivity(&base);
         let s3 = edge_sensitivity(&wide);
-        assert!((s3 - 3.0 * s1).abs() < 1e-12, "Eq. (20) is linear in ‖μ₁ − μ₀‖");
+        assert!(
+            (s3 - 3.0 * s1).abs() < 1e-12,
+            "Eq. (20) is linear in ‖μ₁ − μ₀‖"
+        );
     }
 
     #[test]
@@ -81,7 +88,10 @@ mod tests {
             degree_j: 8,
             hetero_neighbors_j: 2,
         };
-        let separated = EdgeSensitivityInputs { class_mean_gap: 2.0, ..tight };
+        let separated = EdgeSensitivityInputs {
+            class_mean_gap: 2.0,
+            ..tight
+        };
         assert!(edge_sensitivity(&separated) > edge_sensitivity(&tight));
     }
 

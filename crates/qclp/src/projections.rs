@@ -66,7 +66,10 @@ mod tests {
         let mut w = vec![2.0, 2.0];
         project_halfspace(&mut w, &a, 1.0);
         let dot: f64 = w.iter().zip(&a).map(|(&x, &y)| x * y).sum();
-        assert!((dot - 1.0).abs() < 1e-12, "projected point must lie on the boundary");
+        assert!(
+            (dot - 1.0).abs() < 1e-12,
+            "projected point must lie on the boundary"
+        );
         // Feasible points are untouched.
         let mut feasible = vec![-1.0, 0.5];
         project_halfspace(&mut feasible, &a, 1.0);

@@ -41,7 +41,12 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        Self { max_iters: 2000, step: 0.05, tol: 1e-9, projection_sweeps: 8 }
+        Self {
+            max_iters: 2000,
+            step: 0.05,
+            tol: 1e-9,
+            projection_sweeps: 8,
+        }
     }
 }
 
@@ -58,7 +63,12 @@ impl QclpProblem {
 
     /// Right-hand side of the utility constraint: `β Σ_v max(b_v, 0)`.
     pub fn util_budget(&self) -> f64 {
-        self.beta * self.util_influence.iter().filter(|&&b| b > 0.0).sum::<f64>()
+        self.beta
+            * self
+                .util_influence
+                .iter()
+                .filter(|&&b| b > 0.0)
+                .sum::<f64>()
     }
 
     /// Squared radius of the re-weighting ball: `α |V_l|`.
@@ -75,7 +85,11 @@ impl QclpProblem {
         if norm_sq > self.ball_radius_sq() + tol {
             return false;
         }
-        let util: f64 = w.iter().zip(&self.util_influence).map(|(&x, &b)| x * b).sum();
+        let util: f64 = w
+            .iter()
+            .zip(&self.util_influence)
+            .map(|(&x, &b)| x * b)
+            .sum();
         if util > self.util_budget() + tol {
             return false;
         }
@@ -84,7 +98,10 @@ impl QclpProblem {
 
     /// Objective value `Σ w_v a_v`.
     pub fn objective(&self, w: &[f64]) -> f64 {
-        w.iter().zip(&self.bias_influence).map(|(&x, &a)| x * a).sum()
+        w.iter()
+            .zip(&self.bias_influence)
+            .map(|(&x, &a)| x * a)
+            .sum()
     }
 
     fn project(&self, w: &mut [f64], sweeps: usize) {
@@ -124,10 +141,17 @@ pub fn solve(problem: &QclpProblem, options: &SolverOptions) -> QclpSolution {
         problem.util_influence.len(),
         "bias and utility influence vectors must align"
     );
-    assert!(problem.alpha >= 0.0 && problem.beta >= 0.0, "alpha and beta must be non-negative");
+    assert!(
+        problem.alpha >= 0.0 && problem.beta >= 0.0,
+        "alpha and beta must be non-negative"
+    );
     let n = problem.len();
     if n == 0 {
-        return QclpSolution { weights: Vec::new(), objective: 0.0, iterations: 0 };
+        return QclpSolution {
+            weights: Vec::new(),
+            objective: 0.0,
+            iterations: 0,
+        };
     }
     // Scale the step by the objective magnitude so convergence speed does not
     // depend on the (tiny) scale of influence values.
@@ -161,7 +185,11 @@ pub fn solve(problem: &QclpProblem, options: &SolverOptions) -> QclpSolution {
         }
     }
     let objective = problem.objective(&w);
-    QclpSolution { weights: w, objective, iterations }
+    QclpSolution {
+        weights: w,
+        objective,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -184,8 +212,16 @@ mod tests {
         };
         let sol = default_solve(&problem);
         assert!(problem.is_feasible(&sol.weights, 1e-6));
-        assert!((sol.weights[0] + 1.0).abs() < 1e-3, "w0 should reach -1, got {}", sol.weights[0]);
-        assert!((sol.weights[1] - 1.0).abs() < 1e-3, "w1 should reach +1, got {}", sol.weights[1]);
+        assert!(
+            (sol.weights[0] + 1.0).abs() < 1e-3,
+            "w0 should reach -1, got {}",
+            sol.weights[0]
+        );
+        assert!(
+            (sol.weights[1] - 1.0).abs() < 1e-3,
+            "w1 should reach +1, got {}",
+            sol.weights[1]
+        );
         assert!((sol.objective + 2.0).abs() < 1e-2);
     }
 
@@ -267,6 +303,10 @@ mod tests {
         };
         let sol = default_solve(&problem);
         assert!(problem.is_feasible(&sol.weights, 1e-6));
-        assert!(sol.objective <= 1e-9, "objective {} should not exceed the feasible start 0", sol.objective);
+        assert!(
+            sol.objective <= 1e-9,
+            "objective {} should not exceed the feasible start 0",
+            sol.objective
+        );
     }
 }

@@ -46,16 +46,29 @@ fn main() {
 
     // Victim 1: vanilla GCN on the original graph.
     let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
-    audit("vanilla GCN (no defence)", &predictions(&vanilla, &cfg), &dataset, &cfg);
+    audit(
+        "vanilla GCN (no defence)",
+        &predictions(&vanilla, &cfg),
+        &dataset,
+        &cfg,
+    );
 
     // Victim 2: fairness-regularised GCN — the attack gets stronger.
     let reg = run_method(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
-    audit("fairness-regularised GCN (Reg)", &predictions(&reg, &cfg), &dataset, &cfg);
+    audit(
+        "fairness-regularised GCN (Reg)",
+        &predictions(&reg, &cfg),
+        &dataset,
+        &cfg,
+    );
 
     // Defences: retrain on an edge-DP graph and audit again.
     let s = jaccard_similarity(&dataset.graph);
     let l_s = similarity_laplacian(&s);
-    let fairness = FairnessReg { laplacian: l_s, lambda: cfg.fairness_lambda };
+    let fairness = FairnessReg {
+        laplacian: l_s,
+        lambda: cfg.fairness_lambda,
+    };
     for (name, eps) in [("EdgeRand ε=4", 4.0), ("LapGraph ε=4", 4.0)] {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let noisy_graph = if name.starts_with("EdgeRand") {
@@ -64,8 +77,13 @@ fn main() {
             lap_graph(&dataset.graph, eps, &mut rng)
         };
         let ctx = GraphContext::new(noisy_graph, dataset.features.clone());
-        let mut model =
-            AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), cfg.hidden, dataset.n_classes, cfg.seed);
+        let mut model = AnyModel::new(
+            ModelKind::Gcn,
+            ctx.feat_dim(),
+            cfg.hidden,
+            dataset.n_classes,
+            cfg.seed,
+        );
         let weights = vec![1.0; dataset.splits.train.len()];
         let train_cfg = TrainConfig {
             epochs: cfg.vanilla_epochs,
@@ -83,6 +101,11 @@ fn main() {
             &train_cfg,
         );
         let probs = row_softmax(&model.forward(&ctx));
-        audit(&format!("GCN + fairness Reg + {name}"), &probs, &dataset, &cfg);
+        audit(
+            &format!("GCN + fairness Reg + {name}"),
+            &probs,
+            &dataset,
+            &cfg,
+        );
     }
 }

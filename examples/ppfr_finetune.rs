@@ -10,7 +10,9 @@ use ppfr_datasets::{citeseer, cora, credit, enzymes, generate, pubmed};
 use ppfr_gnn::ModelKind;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "cora".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cora".to_string());
     let spec = match which.as_str() {
         "cora" => cora(),
         "citeseer" => citeseer(),

@@ -30,7 +30,10 @@ fn main() {
     println!("\nvanilla GCN:");
     println!("  test accuracy      : {:.2}%", eval.accuracy * 100.0);
     println!("  InFoRM bias        : {:.4}", eval.bias);
-    println!("  link-stealing AUC  : {:.4} (mean over 8 distances)", eval.risk_auc);
+    println!(
+        "  link-stealing AUC  : {:.4} (mean over 8 distances)",
+        eval.risk_auc
+    );
     println!("  distance gap f_risk: {:.4}", eval.risk_gap);
     println!("\nper-distance attack AUC:");
     for (name, auc) in &eval.auc_per_distance {
@@ -42,8 +45,20 @@ fn main() {
     let ours = evaluate(&ppfr, &dataset, &cfg);
     let d = ppfr_core::deltas(&eval, &ours);
     println!("\nPPFR fine-tuned GCN:");
-    println!("  test accuracy      : {:.2}%  (Δacc {:+.2}%)", ours.accuracy * 100.0, d.d_acc * 100.0);
-    println!("  InFoRM bias        : {:.4}  (Δbias {:+.2}%)", ours.bias, d.d_bias * 100.0);
-    println!("  link-stealing AUC  : {:.4}  (Δrisk {:+.2}%)", ours.risk_auc, d.d_risk * 100.0);
+    println!(
+        "  test accuracy      : {:.2}%  (Δacc {:+.2}%)",
+        ours.accuracy * 100.0,
+        d.d_acc * 100.0
+    );
+    println!(
+        "  InFoRM bias        : {:.4}  (Δbias {:+.2}%)",
+        ours.bias,
+        d.d_bias * 100.0
+    );
+    println!(
+        "  link-stealing AUC  : {:.4}  (Δrisk {:+.2}%)",
+        ours.risk_auc,
+        d.d_risk * 100.0
+    );
     println!("  combined Δ (Eq.22) : {:+.3}", d.delta);
 }

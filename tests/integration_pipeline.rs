@@ -6,7 +6,11 @@ use ppfr_datasets::{generate, two_block_synthetic};
 use ppfr_gnn::{GnnModel, ModelKind};
 
 fn fast_cfg() -> PpfrConfig {
-    PpfrConfig { vanilla_epochs: 60, influence_cg_iters: 8, ..PpfrConfig::smoke() }
+    PpfrConfig {
+        vanilla_epochs: 60,
+        influence_cg_iters: 8,
+        ..PpfrConfig::smoke()
+    }
 }
 
 #[test]
@@ -26,7 +30,9 @@ fn full_pipeline_runs_for_every_model_and_method() {
             let outcome = run_method(&dataset, kind, method, &cfg);
             let eval = evaluate(&outcome, &dataset, &cfg);
             let d = deltas(&reference, &eval);
-            assert!(eval.accuracy.is_finite() && eval.bias.is_finite() && eval.risk_auc.is_finite());
+            assert!(
+                eval.accuracy.is_finite() && eval.bias.is_finite() && eval.risk_auc.is_finite()
+            );
             assert!(
                 d.delta.is_finite(),
                 "{} / {}: Δ metric must be finite",
@@ -90,10 +96,16 @@ fn perturbed_deployment_graphs_do_not_leak_into_the_attack_sample() {
     assert!(ppfr.deploy_ctx.graph.n_edges() > dataset.graph.n_edges());
     let sample = ppfr_core::attack_sample(&dataset, &cfg);
     for &(u, v) in &sample.positives {
-        assert!(dataset.graph.has_edge(u, v), "positive pair must be an original edge");
+        assert!(
+            dataset.graph.has_edge(u, v),
+            "positive pair must be an original edge"
+        );
     }
     for &(u, v) in &sample.negatives {
-        assert!(!dataset.graph.has_edge(u, v), "negative pair must not be an original edge");
+        assert!(
+            !dataset.graph.has_edge(u, v),
+            "negative pair must not be an original edge"
+        );
     }
 }
 

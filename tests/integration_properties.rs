@@ -11,9 +11,8 @@ use rand::SeedableRng;
 /// Strategy: a random undirected graph with `n ∈ [3, 24]` nodes.
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..24).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..(3 * n)).prop_map(move |edges| {
-            Graph::from_edges(n, &edges)
-        })
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
     })
 }
 

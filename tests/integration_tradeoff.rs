@@ -4,11 +4,18 @@
 use ppfr_core::{evaluate, run_method, Method, PpfrConfig};
 use ppfr_datasets::{cora, generate, two_block_synthetic, DatasetSpec};
 use ppfr_gnn::ModelKind;
-use ppfr_graph::{hop_histogram, intra_inter_probabilities, jaccard_similarity, shortest_hops_from};
+use ppfr_graph::{
+    hop_histogram, intra_inter_probabilities, jaccard_similarity, shortest_hops_from,
+};
 use ppfr_privacy::{edge_sensitivity, EdgeSensitivityInputs};
 
 fn small_cora() -> DatasetSpec {
-    DatasetSpec { n_nodes: 500, n_val: 80, n_test: 150, ..cora() }
+    DatasetSpec {
+        n_nodes: 500,
+        n_val: 80,
+        n_test: 150,
+        ..cora()
+    }
 }
 
 #[test]
@@ -17,7 +24,10 @@ fn rq1_fairness_regularisation_reduces_bias_without_reducing_risk() {
     // InFoRM regulariser reduces bias while the edge-leakage AUC does not
     // improve (and typically worsens).
     let dataset = generate(&small_cora(), 7);
-    let cfg = PpfrConfig { vanilla_epochs: 120, ..PpfrConfig::smoke() };
+    let cfg = PpfrConfig {
+        vanilla_epochs: 120,
+        ..PpfrConfig::smoke()
+    };
     let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
     let reg = run_method(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
     let e_vanilla = evaluate(&vanilla, &dataset, &cfg);
@@ -44,16 +54,16 @@ fn lemma_v1_similarity_support_is_exactly_the_two_hop_neighbourhood() {
     let n = dataset.graph.n_nodes();
     for i in (0..n).step_by(7) {
         let hops = shortest_hops_from(&dataset.graph, i);
-        for j in 0..n {
+        for (j, &hop) in hops.iter().enumerate() {
             if i == j {
                 continue;
             }
-            let within_two = hops[j] <= 2;
+            let within_two = hop <= 2;
             let positive = s.get(i, j) > 0.0;
             assert_eq!(
-                within_two, positive,
-                "pair ({i},{j}) hop {} similarity {}",
-                hops[j],
+                within_two,
+                positive,
+                "pair ({i},{j}) hop {hop} similarity {}",
                 s.get(i, j)
             );
         }
@@ -69,7 +79,10 @@ fn eq5_two_hop_pairs_are_a_small_fraction_of_unconnected_pairs() {
     let dataset = generate(&small_cora(), 7);
     let (p, q) = intra_inter_probabilities(&dataset.graph, &dataset.labels);
     let theoretical_ratio = (p + q).powi(2) / (1.0 - (p + q));
-    assert!(theoretical_ratio < 0.05, "theoretical 2-hop ratio too large: {theoretical_ratio}");
+    assert!(
+        theoretical_ratio < 0.05,
+        "theoretical 2-hop ratio too large: {theoretical_ratio}"
+    );
 
     let (hist, _unreachable) = hop_histogram(&dataset.graph, 3);
     let n = dataset.graph.n_nodes();
@@ -93,7 +106,10 @@ fn eq20_risk_model_ranks_models_by_class_separation() {
         degree_j: 9,
         hetero_neighbors_j: 3,
     };
-    let strong = EdgeSensitivityInputs { class_mean_gap: 2.5, ..weak };
+    let strong = EdgeSensitivityInputs {
+        class_mean_gap: 2.5,
+        ..weak
+    };
     assert!(edge_sensitivity(&strong) > edge_sensitivity(&weak));
 }
 
@@ -102,15 +118,25 @@ fn heterophilic_perturbation_restrains_risk_compared_to_fairness_only() {
     // Fig. 6 panels (left vs right): with the same FR fine-tuning budget,
     // adding the PP heterophilic edges must not leave the model leakier.
     let dataset = generate(&two_block_synthetic(), 77);
-    let cfg = PpfrConfig { vanilla_epochs: 80, influence_cg_iters: 8, ..PpfrConfig::smoke() };
+    let cfg = PpfrConfig {
+        vanilla_epochs: 80,
+        influence_cg_iters: 8,
+        ..PpfrConfig::smoke()
+    };
     let dpfr_free = {
         // FR only: PPFR with a zero perturbation ratio.
-        let cfg_zero = PpfrConfig { perturb_ratio: 0.0, ..cfg.clone() };
+        let cfg_zero = PpfrConfig {
+            perturb_ratio: 0.0,
+            ..cfg.clone()
+        };
         let outcome = run_method(&dataset, ModelKind::Gcn, Method::Ppfr, &cfg_zero);
         evaluate(&outcome, &dataset, &cfg_zero)
     };
     let with_pp = {
-        let cfg_pp = PpfrConfig { perturb_ratio: 1.5, ..cfg.clone() };
+        let cfg_pp = PpfrConfig {
+            perturb_ratio: 1.5,
+            ..cfg.clone()
+        };
         let outcome = run_method(&dataset, ModelKind::Gcn, Method::Ppfr, &cfg_pp);
         evaluate(&outcome, &dataset, &cfg_pp)
     };

@@ -1,0 +1,62 @@
+//! Smoke test: the full PPFR pipeline — every training strategy of the paper —
+//! must run end to end on the two-block synthetic at [`ExperimentScale::smoke`]
+//! scale and stay fast enough for CI (a few seconds, not minutes).
+
+use ppfr_core::{evaluate, run_method, ExperimentScale, Method};
+use ppfr_datasets::{generate, two_block_synthetic};
+use ppfr_gnn::ModelKind;
+use std::time::{Duration, Instant};
+
+#[test]
+fn all_five_methods_run_end_to_end_at_smoke_scale() {
+    let scale = ExperimentScale::smoke();
+    let cfg = scale.config();
+    let dataset = generate(&two_block_synthetic(), cfg.seed);
+    let started = Instant::now();
+
+    for method in [
+        Method::Vanilla,
+        Method::Reg,
+        Method::DpReg,
+        Method::DpFr,
+        Method::Ppfr,
+    ] {
+        let outcome = run_method(&dataset, ModelKind::Gcn, method, &cfg);
+        assert_eq!(outcome.method, method);
+        let eval = evaluate(&outcome, &dataset, &cfg);
+        assert!(
+            (0.0..=1.0).contains(&eval.accuracy),
+            "{}: accuracy {} out of [0, 1]",
+            method.name(),
+            eval.accuracy
+        );
+        assert!(eval.bias.is_finite(), "{}: non-finite bias", method.name());
+        assert!(
+            (0.0..=1.0).contains(&eval.risk_auc),
+            "{}: attack AUC {} out of [0, 1]",
+            method.name(),
+            eval.risk_auc
+        );
+        // At smoke scale the GCN must still beat random guessing on the
+        // two-block synthetic — anything below 1/2 means training is broken.
+        if method == Method::Vanilla {
+            assert!(
+                eval.accuracy > 0.5,
+                "vanilla smoke accuracy {} is no better than chance",
+                eval.accuracy
+            );
+        }
+    }
+
+    // Generous ceiling, asserted only for optimised builds: catches
+    // accidental full-scale regressions (full scale takes minutes, not
+    // seconds) without flaking debug-profile CI runs on contended runners.
+    let elapsed = started.elapsed();
+    println!("smoke pipeline: five methods in {elapsed:?}");
+    if !cfg!(debug_assertions) {
+        assert!(
+            elapsed < Duration::from_secs(60),
+            "smoke pipeline took {elapsed:?}; smoke scale should be seconds, not minutes"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bencher API surface the PPFR benches use with plain
+//! wall-clock timing: each benchmark warms up briefly, then runs timed
+//! batches until the measurement budget is spent and reports the mean
+//! time per iteration.  No statistics, plots or HTML — just enough to keep
+//! `cargo bench` meaningful offline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimiser; prevents dead-code elimination of bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batching strategy for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; every batch re-runs the setup closure here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement settings shared by a group or a standalone benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Times one closure invocation stream under the given settings and returns
+/// the mean duration per iteration.
+fn measure(settings: &Settings, mut run_one: impl FnMut()) -> Duration {
+    let warm_until = Instant::now() + settings.warm_up_time;
+    run_one();
+    while Instant::now() < warm_until {
+        run_one();
+    }
+    let mut iters: u64 = 0;
+    let started = Instant::now();
+    let budget = settings.measurement_time;
+    loop {
+        run_one();
+        iters += 1;
+        let elapsed = started.elapsed();
+        if iters >= settings.sample_size as u64 && elapsed >= budget {
+            break;
+        }
+        // A single very slow iteration must not run the sample count out to
+        // many multiples of the budget.
+        if elapsed >= 4 * budget {
+            break;
+        }
+    }
+    started.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX)
+}
+
+fn report(name: &str, per_iter: Duration) {
+    println!("{name:<50} time: {per_iter:>12.3?}/iter");
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    name: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` and reports the mean per-iteration duration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let per_iter = measure(self.settings, || {
+            black_box(routine());
+        });
+        report(&self.name, per_iter);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from no measurement here (each iteration re-runs setup, as with
+    /// `BatchSize::PerIteration` upstream) — comparisons within this harness
+    /// remain apples-to-apples.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let per_iter = measure(self.settings, || {
+            let input = setup();
+            black_box(routine(input));
+        });
+        report(&self.name, per_iter);
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher {
+            settings: &self.settings,
+            name: full,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher {
+            settings: &self.settings,
+            name,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn measure_counts_at_least_sample_size_iterations() {
+        let mut count = 0u64;
+        let settings = fast_settings();
+        let d = measure(&settings, || count += 1);
+        assert!(count >= 3);
+        assert!(d > Duration::ZERO || count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(2));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,109 @@
+//! Distributions and range sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Ranges that [`crate::Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny residual
+                // bias of one 64-bit draw is immaterial for simulations.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                if start == <$ty>::MIN && end == <$ty>::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                let span = (end as i128 - start as i128 + 1) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (start as i128 + hi as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+macro_rules! float_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let u = rng.next_f64() as $ty;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f64, f32);
+
+/// Uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    /// Panics when `low >= high` or either bound is non-finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "invalid Uniform bounds"
+        );
+        Self { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + rng.next_f64() * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Uniform::new(-0.5, 0.5);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-0.5..0.5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the `rand_distr` crate: re-exports the vendored
+//! `rand` distribution machinery and adds the Gaussian.
+
+pub use rand::distributions::{Distribution, Uniform};
+use rand::RngCore;
+
+/// Error returned by [`Normal::new`] on invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Normal distribution requires finite mean and std >= 0")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std²)` sampled via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Builds the distribution; errors when `std` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self, NormalError> {
+        if mean.is_finite() && std.is_finite() && std >= 0.0 {
+            Ok(Self { mean, std })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is nudged away from zero so ln(u1) is finite.
+        let u1 = (rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(2.0, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "variance {var}");
+    }
+
+    #[test]
+    fn invalid_std_is_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+}

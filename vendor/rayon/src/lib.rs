@@ -1,0 +1,289 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice / iterator combinators the PPFR kernels use
+//! (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter`
+//! on ranges and vectors, plus [`join`]) on top of `std::thread::scope`.
+//!
+//! Unlike real rayon the combinators are **eager**: each adapter materialises
+//! its items, and the terminal operation splits them into contiguous blocks —
+//! one per worker thread — preserving input order in `map`/`collect`.  That
+//! trades laziness and work-stealing for zero dependencies, which is the right
+//! trade for the dense row-blocked kernels this workspace runs (every row
+//! costs roughly the same, so static partitioning is near-optimal).
+//!
+//! Thread count: `PPFR_NUM_THREADS` env var when set, else
+//! `RAYON_NUM_THREADS`, else [`std::thread::available_parallelism`].
+
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads used by every parallel operation.
+///
+/// The env override is re-read on every call (it is a handful of nanoseconds
+/// next to any kernel) so tests can exercise the multi-threaded code path on
+/// single-core machines by toggling `PPFR_NUM_THREADS`.
+pub fn current_num_threads() -> usize {
+    for var in ["PPFR_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+    }
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join worker panicked"))
+        })
+    }
+}
+
+/// Below this many items per worker, thread spawn/join overhead outweighs the
+/// split: the worker count is capped so each spawned thread has at least this
+/// much work, degenerating to fully serial for tiny inputs.  Real rayon
+/// amortises this with a persistent work-stealing pool; this shim spawns
+/// scoped threads per call, so the floor matters.
+const MIN_ITEMS_PER_THREAD: usize = 8;
+
+/// Core of every terminal operation: applies `f` to each item on a pool of
+/// scoped threads (contiguous blocks, order-preserving).
+fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().div_ceil(MIN_ITEMS_PER_THREAD));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let block = items.len().div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(block).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        blocks.push(chunk);
+    }
+    let f = &f;
+    let results: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|b| s.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator over an already-materialised item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Operations on [`ParIter`]; mirrors the subset of rayon's
+/// `ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts into the underlying item list (order-preserving).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run(self.into_items(), f);
+    }
+
+    /// Maps every item in parallel (eagerly), preserving order.
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParIter {
+            items: run(self.into_items(), f),
+        }
+    }
+
+    /// Collects the items into any `FromIterator` container.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Folds items pairwise with `op` starting from `identity`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_items().into_iter().fold(identity(), op)
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+
+    /// Parallel iterator over contiguous chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+
+    /// Parallel iterator over contiguous mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_element() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[102], 11);
+    }
+
+    #[test]
+    fn sum_and_reduce_agree_with_serial() {
+        let v: Vec<f64> = (0..500).map(|x| x as f64).collect();
+        let s: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 500.0 * 499.0 / 2.0);
+        let r = (0..100usize).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 4950);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde is a zero-copy streaming framework; this vendored substitute
+//! (de)serialises through an owned JSON-like [`Value`] tree instead, which is
+//! ample for the config/result structs the PPFR workspace round-trips.  The
+//! `#[derive(Serialize, Deserialize)]` macros come from the sibling
+//! `serde_derive` vendor crate and target the [`Serialize`] / [`Deserialize`]
+//! traits defined here.
+//!
+//! Representation rules: every number is an `f64` (integers round-trip
+//! exactly up to 2⁵³, far beyond anything the experiments emit); non-finite
+//! floats serialise as `null` and deserialise back to `NaN`; maps serialise
+//! as arrays of `[key, value]` pairs so non-string keys round-trip.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Owned JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Every JSON number (see module docs for integer fidelity).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+/// (De)serialisation error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Self(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup; returns `Null` for missing fields so optional
+    /// fields deserialise to `None` instead of erroring.
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// Object field lookup that errors when the field is absent (or `self` is
+    /// not an object).  Derived struct `Deserialize` impls use this so a
+    /// typo'd or renamed key in hand-edited JSON surfaces as an error instead
+    /// of silently fabricating `NaN`/`0` values.  An explicit `null` is still
+    /// accepted and deserialises per the field type (`None` / `NaN`).
+    pub fn require_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(Error::msg(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_num {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(v.as_f64()? as $ty)
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_arr()?;
+                let want = [$($idx,)+].len();
+                if items.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected {want}-tuple, found array of {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()?
+            .iter()
+            .map(|pair| <(K, V)>::from_value(pair))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Arr(
+            self.iter()
+                .map(|(k, v)| Value::Arr(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()?
+            .iter()
+            .map(|pair| <(K, V)>::from_value(pair))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_returns_null_for_missing() {
+        let v = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.field("a"), &Value::Num(1.0));
+        assert_eq!(v.field("b"), &Value::Null);
+    }
+
+    #[test]
+    fn require_field_errors_on_missing_but_accepts_null() {
+        let v = Value::Obj(vec![("a".into(), Value::Null)]);
+        assert_eq!(v.require_field("a").unwrap(), &Value::Null);
+        assert!(v.require_field("b").is_err());
+        assert!(Value::Num(1.0).require_field("a").is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<f64> = Some(3.5);
+        let none: Option<f64> = None;
+        assert_eq!(
+            Option::<f64>::from_value(&some.to_value()).unwrap(),
+            Some(3.5)
+        );
+        assert_eq!(Option::<f64>::from_value(&none.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn vec_of_tuples_roundtrip() {
+        let orig: Vec<(String, f64)> = vec![("a".into(), 1.0), ("b".into(), 2.0)];
+        let back = Vec::<(String, f64)>::from_value(&orig.to_value()).unwrap();
+        assert_eq!(orig, back);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly from
+//! the raw [`proc_macro::TokenStream`].  Supported shapes — exactly what the
+//! PPFR workspace derives on:
+//!
+//! * structs with named fields (no generics),
+//! * enums with unit variants only (no generics).
+//!
+//! Anything else panics at compile time with a clear message, which is the
+//! right failure mode for a vendored shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    Struct,
+    Enum,
+}
+
+struct Item {
+    kind: ItemKind,
+    name: String,
+    /// Field names for a struct, variant names for an enum.
+    members: Vec<String>,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attribute pairs and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // '#' + bracketed group
+        } else if i < tokens.len() && ident_of(&tokens[i]).as_deref() == Some("pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate) / pub(super)
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match ident_of(&tokens[i]).as_deref() {
+        Some("struct") => ItemKind::Struct,
+        Some("enum") => ItemKind::Enum,
+        other => panic!("serde_derive shim: expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("serde_derive shim: missing item name");
+    i += 1;
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic items are not supported (item `{name}`)")
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("serde_derive shim: unit/tuple structs are not supported (item `{name}`)")
+            }
+            _ => i += 1,
+        }
+    };
+    let members = match kind {
+        ItemKind::Struct => parse_struct_fields(body, &name),
+        ItemKind::Enum => parse_enum_variants(body, &name),
+    };
+    Item {
+        kind,
+        name,
+        members,
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, item: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("serde_derive shim: expected field name in `{item}`"));
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive shim: expected `:` after field `{field}` in `{item}` (tuple fields unsupported)"
+        );
+        i += 1;
+        // Consume the type up to the next top-level comma; `<...>` nesting is
+        // tracked, while parenthesised/bracketed types arrive as single groups.
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                angle_depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                angle_depth = angle_depth.saturating_sub(1);
+            } else if angle_depth == 0 && is_punct(&tokens[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream, item: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("serde_derive shim: expected variant name in `{item}`"));
+        i += 1;
+        if i < tokens.len() {
+            assert!(
+                is_punct(&tokens[i], ','),
+                "serde_derive shim: only unit enum variants are supported (variant `{variant}` of `{item}`)"
+            );
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match item.kind {
+        ItemKind::Struct => {
+            if item.members.is_empty() {
+                "serde::Value::Obj(::std::vec::Vec::new())".to_string()
+            } else {
+                let entries: Vec<String> = item
+                    .members
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "serde::Value::Obj(::std::vec::Vec::from([{}]))",
+                    entries.join(", ")
+                )
+            }
+        }
+        ItemKind::Enum => {
+            let arms: Vec<String> = item
+                .members
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match item.kind {
+        ItemKind::Struct => {
+            let fields: Vec<String> = item
+                .members
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(v.require_field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                fields.join(", ")
+            )
+        }
+        ItemKind::Enum => {
+            let arms: Vec<String> = item
+                .members
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match serde::Value::as_str(v)? {{ {}, other => ::std::result::Result::Err(serde::Error::msg(::std::format!(\"unknown {name} variant: {{other}}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
