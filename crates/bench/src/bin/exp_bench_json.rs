@@ -5,13 +5,15 @@
 //! Usage: `cargo run --release -p ppfr_bench --bin exp_bench_json [--smoke]`
 //! (`--smoke` shrinks the problem sizes for CI).
 
+use ppfr_bench::legacy_average_attack_auc;
 use ppfr_core::ExperimentScale;
 use ppfr_datasets::{generate, two_block_synthetic, DatasetSpec};
 use ppfr_gnn::{AnyModel, GnnModel, GraphContext, ModelKind};
 use ppfr_graph::{jaccard_similarity, jaccard_similarity_serial};
 use ppfr_influence::hessian_vector_product;
 use ppfr_linalg::parallel::{current_num_threads, with_forced_threads};
-use ppfr_linalg::Matrix;
+use ppfr_linalg::{row_softmax, Matrix};
+use ppfr_privacy::AttackEvaluator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -32,6 +34,22 @@ pub struct KernelBench {
     pub speedup: f64,
 }
 
+/// One algorithmic-path replacement: the seed's implementation against the
+/// rebuilt one (both single-threaded, so the ratio is purely algorithmic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathBench {
+    /// Path name.
+    pub path: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Best-of-reps time of the seed's implementation (milliseconds).
+    pub legacy_ms: f64,
+    /// Best-of-reps time of the rebuilt implementation (milliseconds).
+    pub rebuilt_ms: f64,
+    /// `legacy_ms / rebuilt_ms`.
+    pub speedup: f64,
+}
+
 /// The full report written to `BENCH_kernels.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -41,6 +59,8 @@ pub struct BenchReport {
     pub reps: usize,
     /// Per-kernel results.
     pub kernels: Vec<KernelBench>,
+    /// Old-vs-new algorithmic path comparisons.
+    pub paths: Vec<PathBench>,
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds.
@@ -143,10 +163,55 @@ fn main() {
         hvp,
     ));
 
+    // Link-stealing attack evaluation: serial-vs-parallel of the single-pass
+    // multi-metric kernel, plus the old-vs-new AUC-path comparison.
+    let mut rng = StdRng::seed_from_u64(17);
+    let probs = row_softmax(&Matrix::gaussian(
+        ds.n_nodes(),
+        ds.n_classes,
+        0.0,
+        1.0,
+        &mut rng,
+    ));
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ev_serial = AttackEvaluator::from_graph(&ds.graph, &mut rng);
+    let mut ev_parallel = ev_serial.clone();
+    let (n_pos, n_neg) = ev_serial.sample().counts();
+    let attack_size = format!("pairs={}", n_pos + n_neg);
+    kernels.push(compare(
+        "attack_multi_metric",
+        attack_size.clone(),
+        reps,
+        || {
+            ev_serial.distances_serial(&probs);
+        },
+        || {
+            ev_parallel.distances(&probs);
+        },
+    ));
+
+    let sample = ev_parallel.sample().clone();
+    let legacy_ms = best_ms(reps, || legacy_average_attack_auc(&probs, &sample));
+    let rebuilt_ms = best_ms(reps, || {
+        with_forced_threads(1, || ev_parallel.evaluate(&probs).average_auc)
+    });
+    let path = PathBench {
+        path: "attack_auc".to_string(),
+        size: attack_size,
+        legacy_ms,
+        rebuilt_ms,
+        speedup: legacy_ms / rebuilt_ms,
+    };
+    println!(
+        "{:<24} {:<18} legacy {:>9.3} ms   rebuilt  {:>9.3} ms   speedup {:>5.2}x",
+        path.path, path.size, path.legacy_ms, path.rebuilt_ms, path.speedup
+    );
+
     let report = BenchReport {
         threads,
         reps,
         kernels,
+        paths: vec![path],
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

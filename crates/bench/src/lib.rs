@@ -10,6 +10,8 @@
 //!   (PP vs DP noise, QCLP re-weighting vs top-k node deletion).
 
 use ppfr_core::ExperimentScale;
+use ppfr_linalg::Matrix;
+use ppfr_privacy::{auc_from_distances_quadratic, pairwise_distance, DistanceKind, PairSample};
 
 /// Parses the experiment scale from command-line arguments: `--smoke` selects
 /// the reduced scale, anything else (including nothing) selects full scale.
@@ -19,6 +21,27 @@ pub fn scale_from_args() -> ExperimentScale {
     } else {
         ExperimentScale::Full
     }
+}
+
+/// The seed's attack-evaluation path, kept as the shared benchmark baseline
+/// for the `attack` criterion bench and `exp_bench_json`: one pair traversal
+/// per distance metric plus the `O(|pos|·|neg|)` quadratic AUC oracle.
+pub fn legacy_average_attack_auc(probs: &Matrix, sample: &PairSample) -> f64 {
+    let mut total = 0.0;
+    for kind in DistanceKind::ALL {
+        let pos: Vec<f64> = sample
+            .positives
+            .iter()
+            .map(|&(u, v)| pairwise_distance(kind, probs.row(u), probs.row(v)))
+            .collect();
+        let neg: Vec<f64> = sample
+            .negatives
+            .iter()
+            .map(|&(u, v)| pairwise_distance(kind, probs.row(u), probs.row(v)))
+            .collect();
+        total += auc_from_distances_quadratic(&pos, &neg);
+    }
+    total / DistanceKind::ALL.len() as f64
 }
 
 #[cfg(test)]

@@ -5,9 +5,7 @@ use ppfr_datasets::Dataset;
 use ppfr_fairness::bias;
 use ppfr_gnn::GnnModel;
 use ppfr_linalg::{row_softmax, Matrix};
-use ppfr_privacy::{
-    auc_per_distance, average_attack_auc, prediction_distance_gap, DistanceKind, PairSample,
-};
+use ppfr_privacy::{AttackEvaluator, PairSample};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -58,23 +56,41 @@ pub fn attack_sample(dataset: &Dataset, cfg: &PpfrConfig) -> PairSample {
     PairSample::balanced(&dataset.graph, &mut rng)
 }
 
+/// The attack evaluator over [`attack_sample`]'s pairs.  Build it **once per
+/// (dataset, config)** and pass it to [`evaluate_with`] for every method:
+/// the sample and the distance buffers are cached inside, so posteriors are
+/// the only thing recomputed per method.
+pub fn attack_evaluator(dataset: &Dataset, cfg: &PpfrConfig) -> AttackEvaluator {
+    AttackEvaluator::new(attack_sample(dataset, cfg))
+}
+
 /// Evaluates a trained outcome: accuracy on the test split, InFoRM bias
 /// against the original similarity, and link-stealing risk against the
 /// original edges.
 pub fn evaluate(outcome: &TrainedOutcome, dataset: &Dataset, cfg: &PpfrConfig) -> Evaluation {
+    let mut evaluator = attack_evaluator(dataset, cfg);
+    evaluate_with(outcome, dataset, cfg, &mut evaluator)
+}
+
+/// [`evaluate`] against a shared [`AttackEvaluator`] — the cheap path when
+/// several methods are scored on the same dataset and configuration.
+pub fn evaluate_with(
+    outcome: &TrainedOutcome,
+    dataset: &Dataset,
+    cfg: &PpfrConfig,
+    evaluator: &mut AttackEvaluator,
+) -> Evaluation {
     let probs = predictions(outcome, cfg);
     let accuracy = ppfr_nn::accuracy(&probs, &dataset.labels, &dataset.splits.test);
     let bias_value = bias(&probs, &outcome.similarity_laplacian);
-    let sample = attack_sample(dataset, cfg);
-    let per_distance = auc_per_distance(&probs, &sample);
-    let risk_auc = average_attack_auc(&probs, &sample);
-    let risk_gap = prediction_distance_gap(&probs, &sample, DistanceKind::Euclidean);
+    let report = evaluator.evaluate(&probs);
     Evaluation {
         accuracy,
         bias: bias_value,
-        risk_auc,
-        risk_gap,
-        auc_per_distance: per_distance
+        risk_auc: report.average_auc,
+        risk_gap: report.risk_gap,
+        auc_per_distance: report
+            .auc_per_distance
             .into_iter()
             .map(|(kind, auc)| (kind.name().to_string(), auc))
             .collect(),

@@ -3,14 +3,14 @@
 //! the smoke scale can use a smaller pair).
 
 use super::common::scaled_spec;
-use crate::{attack_sample, fairness_weights, heterophilic_perturbation, predictions};
+use crate::{attack_evaluator, fairness_weights, heterophilic_perturbation, predictions};
 use crate::{ExperimentScale, Method, PpfrConfig, TrainedOutcome};
 use ppfr_datasets::{cora, generate, two_block_synthetic, Dataset};
 use ppfr_fairness::bias;
 use ppfr_gnn::{train, GraphContext, ModelKind};
 use ppfr_graph::{jaccard_similarity, similarity_laplacian};
 use ppfr_nn::accuracy;
-use ppfr_privacy::average_attack_auc;
+use ppfr_privacy::AttackEvaluator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -85,14 +85,18 @@ struct AblationContext {
     cfg: PpfrConfig,
 }
 
-fn evaluate_point(ab: &AblationContext, outcome: &TrainedOutcome, x: f64) -> AblationPoint {
+fn evaluate_point(
+    ab: &AblationContext,
+    evaluator: &mut AttackEvaluator,
+    outcome: &TrainedOutcome,
+    x: f64,
+) -> AblationPoint {
     let probs = predictions(outcome, &ab.cfg);
-    let sample = attack_sample(&ab.dataset, &ab.cfg);
     AblationPoint {
         x,
         accuracy: accuracy(&probs, &ab.dataset.labels, &ab.dataset.splits.test),
         bias: bias(&probs, &outcome.similarity_laplacian),
-        risk_auc: average_attack_auc(&probs, &sample),
+        risk_auc: evaluator.evaluate(&probs).average_auc,
     }
 }
 
@@ -165,8 +169,11 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
         loss_weights: fr.loss_weights,
         cfg: cfg.clone(),
     };
+    // One evaluator for the whole figure: every ablation point is attacked
+    // on the same cached pair sample.
+    let mut evaluator = attack_evaluator(&ab.dataset, &ab.cfg);
 
-    let vanilla_point = evaluate_point(&ab, &ab.vanilla, 0.0);
+    let vanilla_point = evaluate_point(&ab, &mut evaluator, &ab.vanilla, 0.0);
     let max_epochs = cfg.finetune_epochs().max(4);
     let epoch_grid: Vec<usize> = (0..=4).map(|i| i * max_epochs / 4).collect();
     let gamma_grid = [0.0, 0.5, 1.0, 1.5, 2.0];
@@ -180,7 +187,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&e| {
                 let outcome = finetuned_outcome(&ab, 0.0, e);
-                evaluate_point(&ab, &outcome, e as f64)
+                evaluate_point(&ab, &mut evaluator, &outcome, e as f64)
             })
             .collect(),
     };
@@ -191,7 +198,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&g| {
                 let outcome = finetuned_outcome(&ab, g, fixed_epochs);
-                evaluate_point(&ab, &outcome, g)
+                evaluate_point(&ab, &mut evaluator, &outcome, g)
             })
             .collect(),
     };
@@ -202,7 +209,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&e| {
                 let outcome = finetuned_outcome(&ab, fixed_gamma, e);
-                evaluate_point(&ab, &outcome, e as f64)
+                evaluate_point(&ab, &mut evaluator, &outcome, e as f64)
             })
             .collect(),
     };

@@ -1,10 +1,11 @@
 //! Shared helpers for the experiment drivers.
 
 use crate::{
-    evaluate, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome,
+    evaluate_with, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome,
 };
 use ppfr_datasets::{citeseer, cora, credit, enzymes, pubmed, Dataset, DatasetSpec};
 use ppfr_gnn::ModelKind;
+use ppfr_privacy::AttackEvaluator;
 use serde::{Deserialize, Serialize};
 
 /// Scales a dataset spec for the requested experiment scale: the smoke
@@ -49,15 +50,19 @@ pub struct MethodRun {
     pub evaluation: Evaluation,
 }
 
-/// Runs one `(dataset, model, method)` cell and evaluates it.
+/// Runs one `(dataset, model, method)` cell and evaluates it against the
+/// dataset's shared [`AttackEvaluator`] (built once per dataset via
+/// [`crate::attack_evaluator`] so the pair sample and distance buffers are
+/// reused across the five methods).
 pub fn run_and_evaluate(
     dataset: &Dataset,
     kind: ModelKind,
     method: Method,
     cfg: &PpfrConfig,
+    evaluator: &mut AttackEvaluator,
 ) -> (TrainedOutcome, MethodRun) {
     let outcome = run_method(dataset, kind, method, cfg);
-    let evaluation = evaluate(&outcome, dataset, cfg);
+    let evaluation = evaluate_with(&outcome, dataset, cfg, evaluator);
     let run = MethodRun {
         dataset: dataset.name.to_string(),
         model: kind.name().to_string(),

@@ -72,8 +72,16 @@ pub fn fig4(scale: ExperimentScale) -> Fig4Result {
     let mut rows = Vec::new();
     for spec in high_homophily_specs(scale) {
         let dataset = generate(&spec, DATA_SEED);
-        let (_, vanilla) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
-        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
+        let mut evaluator = crate::attack_evaluator(&dataset, &cfg);
+        let (_, vanilla) = run_and_evaluate(
+            &dataset,
+            ModelKind::Gcn,
+            Method::Vanilla,
+            &cfg,
+            &mut evaluator,
+        );
+        let (_, reg) =
+            run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut evaluator);
         for ((name_v, auc_v), (name_r, auc_r)) in vanilla
             .evaluation
             .auc_per_distance

@@ -1,7 +1,9 @@
 //! Drivers for Tables II, III, IV and V.
 
 use super::common::{high_homophily_specs, pct, run_and_evaluate, weak_homophily_specs, MethodRun};
-use crate::{attack_sample, deltas, predictions, ExperimentScale, Method, PpfrConfig};
+use crate::{
+    attack_evaluator, attack_sample, deltas, predictions, ExperimentScale, Method, PpfrConfig,
+};
 use ppfr_datasets::generate;
 use ppfr_fairness::bias;
 use ppfr_gnn::ModelKind;
@@ -134,8 +136,16 @@ pub fn table3(scale: ExperimentScale) -> Table3Result {
     let mut rows = Vec::new();
     for spec in high_homophily_specs(scale) {
         let dataset = generate(&spec, DATA_SEED);
-        let (_, vanilla) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
-        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
+        let mut evaluator = attack_evaluator(&dataset, &cfg);
+        let (_, vanilla) = run_and_evaluate(
+            &dataset,
+            ModelKind::Gcn,
+            Method::Vanilla,
+            &cfg,
+            &mut evaluator,
+        );
+        let (_, reg) =
+            run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut evaluator);
         rows.push(Table3Row {
             dataset: spec.name.to_string(),
             vanilla_acc: vanilla.evaluation.accuracy * 100.0,
@@ -217,10 +227,14 @@ fn method_matrix(
     let mut rows = Vec::new();
     for spec in specs {
         let dataset = generate(&spec, DATA_SEED);
+        // One evaluator per dataset: all models × methods are attacked on the
+        // same cached pairs, only their posteriors differ.
+        let mut evaluator = attack_evaluator(&dataset, cfg);
         for &kind in models {
-            let (_, vanilla_run) = run_and_evaluate(&dataset, kind, Method::Vanilla, cfg);
+            let (_, vanilla_run) =
+                run_and_evaluate(&dataset, kind, Method::Vanilla, cfg, &mut evaluator);
             for method in Method::COMPARED {
-                let (_, run) = run_and_evaluate(&dataset, kind, method, cfg);
+                let (_, run) = run_and_evaluate(&dataset, kind, method, cfg, &mut evaluator);
                 let d = deltas(&vanilla_run.evaluation, &run.evaluation);
                 rows.push(Table4Row {
                     dataset: spec.name.to_string(),
@@ -270,18 +284,15 @@ pub fn vanilla_vs_reg_bias_risk(
     let l_s = similarity_laplacian(&s);
     let vanilla = crate::run_method(&dataset, ModelKind::Gcn, Method::Vanilla, cfg);
     let reg = crate::run_method(&dataset, ModelKind::Gcn, Method::Reg, cfg);
-    let sample = attack_sample(&dataset, cfg);
+    let mut evaluator = attack_evaluator(&dataset, cfg);
     let p_vanilla = predictions(&vanilla, cfg);
     let p_reg = predictions(&reg, cfg);
     (
         (
             bias(&p_vanilla, &l_s),
-            ppfr_privacy::average_attack_auc(&p_vanilla, &sample),
+            evaluator.evaluate(&p_vanilla).average_auc,
         ),
-        (
-            bias(&p_reg, &l_s),
-            ppfr_privacy::average_attack_auc(&p_reg, &sample),
-        ),
+        (bias(&p_reg, &l_s), evaluator.evaluate(&p_reg).average_auc),
     )
 }
 

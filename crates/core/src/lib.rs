@@ -39,7 +39,10 @@ pub mod pipeline;
 pub mod reweight;
 
 pub use config::{ExperimentScale, PpfrConfig};
-pub use evaluate::{attack_sample, deltas, evaluate, predictions, Evaluation, MethodDeltas};
+pub use evaluate::{
+    attack_evaluator, attack_sample, deltas, evaluate, evaluate_with, predictions, Evaluation,
+    MethodDeltas,
+};
 pub use perturb::heterophilic_perturbation;
 pub use pipeline::{run_method, Method, TrainedOutcome};
 pub use reweight::fairness_weights;

@@ -14,7 +14,7 @@ mod sbm;
 mod specs;
 mod splits;
 
-pub use sbm::{generate, Dataset};
+pub use sbm::{generate, sparse_sbm, Dataset};
 pub use specs::{citeseer, cora, credit, enzymes, pubmed, two_block_synthetic, DatasetSpec};
 pub use splits::Splits;
 

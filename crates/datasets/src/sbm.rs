@@ -134,11 +134,100 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Dataset {
     }
 }
 
+/// Sparse SBM graph sampled in `O(n · d̄)` expected time, for large-graph
+/// scenarios where [`generate`]'s exact `O(n²)` pair sweep is unaffordable.
+///
+/// Blocks are assigned round-robin (`node i → block i mod n_blocks`); each
+/// node draws ≈`intra_degree/2` same-block and ≈`inter_degree/2` cross-block
+/// partners uniformly (each undirected edge is drawn from both endpoints, so
+/// expected degrees come out at `intra_degree + inter_degree`).  Duplicate
+/// draws collapse in [`Graph::from_edges`], which makes the realised density
+/// fractionally lower than nominal — irrelevant for scaling scenarios.
+/// Fully deterministic in `seed`.
+///
+/// Returns the graph and the block label of every node.
+pub fn sparse_sbm(
+    n_nodes: usize,
+    n_blocks: usize,
+    intra_degree: f64,
+    inter_degree: f64,
+    seed: u64,
+) -> (Graph, Vec<usize>) {
+    assert!(n_blocks >= 1 && n_blocks <= n_nodes, "invalid block count");
+    assert!(
+        intra_degree >= 0.0 && inter_degree >= 0.0,
+        "degrees must be non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5b3c_1a2d_9e8f_7064);
+    let labels: Vec<usize> = (0..n_nodes).map(|i| i % n_blocks).collect();
+    // Block b's members are {b, b + k, b + 2k, ...}: membership is indexable
+    // without materialising per-block node lists.
+    let block_size = |b: usize| n_nodes / n_blocks + usize::from(b < n_nodes % n_blocks);
+    // Stochastic rounding of a fractional stub count.
+    let draw_count = |expected: f64, rng: &mut StdRng| -> usize {
+        let floor = expected.floor();
+        floor as usize + usize::from(rng.gen_bool(expected - floor))
+    };
+    let mut edges =
+        Vec::with_capacity((n_nodes as f64 * (intra_degree + inter_degree) / 2.0).ceil() as usize);
+    for (u, &b) in labels.iter().enumerate() {
+        for _ in 0..draw_count(intra_degree / 2.0, &mut rng) {
+            let v = b + n_blocks * rng.gen_range(0..block_size(b));
+            if v != u {
+                edges.push((u, v));
+            }
+        }
+        if n_blocks > 1 {
+            for _ in 0..draw_count(inter_degree / 2.0, &mut rng) {
+                // A uniformly random block other than u's own.
+                let other = (b + 1 + rng.gen_range(0..n_blocks - 1)) % n_blocks;
+                let v = other + n_blocks * rng.gen_range(0..block_size(other));
+                edges.push((u, v));
+            }
+        }
+    }
+    (Graph::from_edges(n_nodes, &edges), labels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::specs::{cora, two_block_synthetic};
     use ppfr_graph::{edge_density, intra_inter_probabilities};
+
+    #[test]
+    fn sparse_sbm_is_deterministic_homophilous_and_near_nominal_degree() {
+        let (g, labels) = sparse_sbm(4000, 4, 8.0, 2.0, 42);
+        let (g2, labels2) = sparse_sbm(4000, 4, 8.0, 2.0, 42);
+        assert_eq!(labels, labels2);
+        assert_eq!(g.n_edges(), g2.n_edges(), "same seed ⇒ same graph");
+        let avg_degree = 2.0 * g.n_edges() as f64 / g.n_nodes() as f64;
+        assert!(
+            (7.0..=10.0).contains(&avg_degree),
+            "average degree {avg_degree} far from nominal 10"
+        );
+        let (p, q) = intra_inter_probabilities(&g, &labels);
+        assert!(p > 3.0 * q, "intra {p} must dominate inter {q}");
+        // Degrees concentrate: no isolated half of the graph.
+        let isolated = (0..g.n_nodes()).filter(|&v| g.degree(v) == 0).count();
+        assert!(isolated < g.n_nodes() / 100, "{isolated} isolated nodes");
+    }
+
+    #[test]
+    fn sparse_sbm_handles_single_block_and_uneven_blocks() {
+        let (g, labels) = sparse_sbm(101, 1, 4.0, 3.0, 7);
+        assert_eq!(g.n_nodes(), 101);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(g.n_edges() > 0);
+        // 3 blocks over 100 nodes: block 0 has 34 members, blocks 1-2 have 33.
+        let (g3, labels3) = sparse_sbm(100, 3, 6.0, 1.0, 7);
+        for (v, &l) in labels3.iter().enumerate() {
+            assert_eq!(l, v % 3);
+        }
+        for (u, v) in g3.edges() {
+            assert!(u < 100 && v < 100);
+        }
+    }
 
     #[test]
     fn labels_are_roughly_balanced() {

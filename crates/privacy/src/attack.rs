@@ -10,10 +10,11 @@ use crate::{pairwise_distance, DistanceKind};
 use ppfr_graph::Graph;
 use ppfr_linalg::Matrix;
 use rand::Rng;
+use std::collections::HashSet;
 
 /// A balanced sample of node pairs used to evaluate the attack:
-/// every training-graph edge as positives plus an equal number of sampled
-/// unconnected pairs as negatives.
+/// every training-graph edge as positives plus an equal number of *distinct*
+/// sampled unconnected pairs as negatives.
 #[derive(Debug, Clone)]
 pub struct PairSample {
     /// Connected node pairs (positives).
@@ -26,11 +27,19 @@ impl PairSample {
     /// Builds the balanced sample from the *original* (pre-perturbation)
     /// graph — the attacker targets the confidential edges of the training
     /// data, not whatever noisy structure a defence exposes.
+    ///
+    /// Negatives are rejection-sampled without replacement; when rejection
+    /// stalls (small or dense graphs where distinct non-edges are scarce) the
+    /// sampler falls back to a deterministic enumeration of the remaining
+    /// non-edges, so the sample only stays unbalanced when the graph has
+    /// fewer non-edges than edges.  [`PairSample::counts`] exposes the
+    /// achieved sizes.
     pub fn balanced<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
         let positives: Vec<(usize, usize)> = graph.edges().collect();
         let n = graph.n_nodes();
         let target = positives.len();
         let mut negatives = Vec::with_capacity(target);
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(target);
         let mut attempts = 0usize;
         let max_attempts = target.saturating_mul(50).max(1000);
         while negatives.len() < target && attempts < max_attempts {
@@ -40,7 +49,26 @@ impl PairSample {
             if u == v || graph.has_edge(u, v) {
                 continue;
             }
-            negatives.push((u.min(v), u.max(v)));
+            let pair = (u.min(v), u.max(v));
+            if seen.insert(pair) {
+                negatives.push(pair);
+            }
+        }
+        if negatives.len() < target {
+            // Rejection sampling exhausted its budget: deterministically
+            // enumerate the non-edges that were not already drawn.
+            'fill: for u in 0..n {
+                for v in (u + 1)..n {
+                    if negatives.len() >= target {
+                        break 'fill;
+                    }
+                    if graph.has_edge(u, v) || seen.contains(&(u, v)) {
+                        continue;
+                    }
+                    seen.insert((u, v));
+                    negatives.push((u, v));
+                }
+            }
         }
         Self {
             positives,
@@ -56,6 +84,12 @@ impl PairSample {
     /// True when no pairs were sampled.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Achieved `(positives, negatives)` counts.  They differ only when the
+    /// graph has fewer distinct non-edges than edges.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.positives.len(), self.negatives.len())
     }
 }
 
@@ -76,8 +110,51 @@ pub fn attack_auc(probs: &Matrix, sample: &PairSample, kind: DistanceKind) -> f6
 }
 
 /// AUC computed directly from distance samples of connected (`pos`) and
-/// unconnected (`neg`) pairs.  A positive "wins" when its distance is smaller.
+/// unconnected (`neg`) pairs.  A positive "wins" when its distance is
+/// smaller; exact-value ties count as half a win.
+///
+/// Runs in `O(m log m)` via the Mann–Whitney rank statistic with midrank tie
+/// handling, replacing the seed's `O(|pos|·|neg|)` pairwise loop; on
+/// tie-free inputs it matches [`auc_from_distances_quadratic`] exactly.
 pub fn auc_from_distances(pos: &[f64], neg: &[f64]) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let n_pos = pos.len();
+    let n_neg = neg.len();
+    let mut all: Vec<(f64, bool)> = pos
+        .iter()
+        .map(|&d| (d, true))
+        .chain(neg.iter().map(|&d| (d, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Rank sum of the positives in ascending order, ties sharing the midrank.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i + 1;
+        while j < all.len() && all[j].0 == all[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based: the tie group spans ranks i+1 ..= j.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        let pos_in_group = all[i..j].iter().filter(|&&(_, is_pos)| is_pos).count();
+        rank_sum_pos += midrank * pos_in_group as f64;
+        i = j;
+    }
+    // U counts (pos > neg) pairs plus half the exact ties; a positive wins
+    // when its distance is *smaller*, hence the complement.
+    let u_pos = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    1.0 - u_pos / (n_pos as f64 * n_neg as f64)
+}
+
+/// The seed's quadratic AUC, kept as the test oracle for
+/// [`auc_from_distances`].
+///
+/// Ties are counted by *exact value equality* (half a win each): the seed's
+/// `(p − q).abs() <= f64::EPSILON` tolerance missed genuinely equal ranks at
+/// magnitudes above ~2 and fired spuriously for distinct values near 0.
+pub fn auc_from_distances_quadratic(pos: &[f64], neg: &[f64]) -> f64 {
     if pos.is_empty() || neg.is_empty() {
         return 0.5;
     }
@@ -86,7 +163,7 @@ pub fn auc_from_distances(pos: &[f64], neg: &[f64]) -> f64 {
         for &q in neg {
             if p < q {
                 wins += 1.0;
-            } else if (p - q).abs() <= f64::EPSILON {
+            } else if p == q {
                 wins += 0.5;
             }
         }
@@ -256,6 +333,57 @@ mod tests {
     }
 
     #[test]
+    fn ties_count_as_half_wins_at_any_magnitude() {
+        // Regression for the seed's `(p - q).abs() <= f64::EPSILON` tie test:
+        // distinct distances below ~2e-16 were spuriously merged into ties,
+        // while above magnitude ~2 the absolute tolerance degenerates away.
+        // Exact-value equality is the rank semantics.
+        let tiny_pos = [1e-17];
+        let tiny_neg = [9e-17];
+        assert_eq!(
+            auc_from_distances(&tiny_pos, &tiny_neg),
+            1.0,
+            "distinct near-zero distances are not ties"
+        );
+        for scale in [1.0, 10.0, 1e6] {
+            let all_equal = [0.7 * scale; 5];
+            assert_eq!(
+                auc_from_distances(&all_equal, &all_equal[..3]),
+                0.5,
+                "all-equal inputs at scale {scale}"
+            );
+        }
+        // Mixed ties: pos = [1, 2, 2], neg = [2, 3].
+        // Pairwise wins: 1<2 ✓, 1<3 ✓, 2=2 ½, 2<3 ✓, 2=2 ½, 2<3 ✓ → 5/6.
+        let pos = [1.0, 2.0, 2.0];
+        let neg = [2.0, 3.0];
+        let expected = 5.0 / 6.0;
+        assert!((auc_from_distances(&pos, &neg) - expected).abs() < 1e-15);
+        assert!((auc_from_distances_quadratic(&pos, &neg) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_auc_matches_the_quadratic_oracle() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..25 {
+            let n_pos = 1 + (trial % 7);
+            let n_neg = 1 + (trial % 11);
+            let pos: Vec<f64> = (0..n_pos).map(|_| rng.gen_range(0.0..3.0)).collect();
+            let mut neg: Vec<f64> = (0..n_neg).map(|_| rng.gen_range(0.0..3.0)).collect();
+            // Inject exact ties in half the trials.
+            if trial % 2 == 0 {
+                neg[0] = pos[0];
+            }
+            let fast = auc_from_distances(&pos, &neg);
+            let slow = auc_from_distances_quadratic(&pos, &neg);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "trial {trial}: rank {fast} vs quadratic {slow}"
+            );
+        }
+    }
+
+    #[test]
     fn balanced_sample_is_balanced_and_disjoint() {
         let (g, _, sample) = separable_setup();
         assert_eq!(sample.positives.len(), g.n_edges());
@@ -265,6 +393,50 @@ mod tests {
                 !g.has_edge(u, v),
                 "negative pair ({u},{v}) is actually an edge"
             );
+        }
+    }
+
+    #[test]
+    fn negatives_are_distinct_and_fill_dense_graphs_deterministically() {
+        // A near-complete graph: 8 nodes, all edges except three.  Rejection
+        // sampling alone cannot find 25 distinct negatives (only 3 exist) and
+        // the seed's sampler both duplicated and under-filled; the fallback
+        // must enumerate every missing non-edge exactly once.
+        let n = 8;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        let missing = [(0, 1), (2, 5), (6, 7)];
+        edges.retain(|e| !missing.contains(e));
+        let g = Graph::from_edges(n, &edges);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = PairSample::balanced(&g, &mut rng);
+        let (n_pos, n_neg) = sample.counts();
+        assert_eq!(n_pos, g.n_edges());
+        assert_eq!(n_neg, missing.len(), "every non-edge must be found");
+        let unique: std::collections::HashSet<_> = sample.negatives.iter().collect();
+        assert_eq!(unique.len(), sample.negatives.len(), "duplicate negatives");
+        for &(u, v) in &sample.negatives {
+            assert!(missing.contains(&(u, v)));
+        }
+    }
+
+    #[test]
+    fn negatives_never_duplicate_on_sparse_graphs() {
+        let (g, _, _) = separable_setup();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sample = PairSample::balanced(&g, &mut rng);
+            let unique: std::collections::HashSet<_> = sample.negatives.iter().collect();
+            assert_eq!(
+                unique.len(),
+                sample.negatives.len(),
+                "seed {seed} produced duplicate negatives"
+            );
+            assert_eq!(sample.counts(), (g.n_edges(), sample.negatives.len()));
         }
     }
 

@@ -22,9 +22,12 @@ pub enum DistanceKind {
     Sqeuclidean,
 }
 
+/// Number of distance metrics ([`DistanceKind::ALL`]'s length).
+pub const N_DISTANCE_KINDS: usize = 8;
+
 impl DistanceKind {
     /// The eight distances, in the order the paper lists them.
-    pub const ALL: [DistanceKind; 8] = [
+    pub const ALL: [DistanceKind; N_DISTANCE_KINDS] = [
         DistanceKind::Cosine,
         DistanceKind::Euclidean,
         DistanceKind::Correlation,
@@ -48,6 +51,32 @@ impl DistanceKind {
             DistanceKind::Sqeuclidean => "sqeuclidean",
         }
     }
+
+    /// Index of this metric inside [`DistanceKind::ALL`] (the column order of
+    /// the multi-metric kernel and of `DistanceTable`).
+    pub fn index(self) -> usize {
+        match self {
+            DistanceKind::Cosine => 0,
+            DistanceKind::Euclidean => 1,
+            DistanceKind::Correlation => 2,
+            DistanceKind::Chebyshev => 3,
+            DistanceKind::Braycurtis => 4,
+            DistanceKind::Canberra => 5,
+            DistanceKind::Cityblock => 6,
+            DistanceKind::Sqeuclidean => 7,
+        }
+    }
+}
+
+/// Correlation distance is undefined when either vector has (numerically)
+/// zero variance.  The threshold is relative to the vector length because the
+/// single-pass kernel derives the variance from raw moments, whose
+/// cancellation error for probability-scale values is ~`len · 2e-16`: below
+/// `len · 1e-15` the kernel cannot tell real variance from rounding noise,
+/// so both implementations must treat that band as degenerate (per-element
+/// deviations under ~3e-8 — far below anything a real posterior produces).
+fn correlation_is_degenerate(centered_variance_sum: f64, len: usize) -> bool {
+    centered_variance_sum <= len as f64 * 1e-15
 }
 
 /// Distance between two vectors under the chosen metric.
@@ -58,6 +87,12 @@ pub fn pairwise_distance(kind: DistanceKind, a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "distance requires equal-length vectors");
     match kind {
         DistanceKind::Cosine => {
+            // The ratio form cannot represent d(a, a) = 0 exactly (and is
+            // undefined for a zero vector), so the contract's identical-vector
+            // case is pinned up front.
+            if a == b {
+                return 0.0;
+            }
             let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
             let na: f64 = a.iter().map(|&x| x * x).sum::<f64>().sqrt();
             let nb: f64 = b.iter().map(|&x| x * x).sum::<f64>().sqrt();
@@ -73,6 +108,11 @@ pub fn pairwise_distance(kind: DistanceKind, a: &[f64], b: &[f64]) -> f64 {
             .sum::<f64>()
             .sqrt(),
         DistanceKind::Correlation => {
+            // As for Cosine: identical vectors (including constant ones,
+            // where the correlation is undefined) are pinned to 0 up front.
+            if a == b {
+                return 0.0;
+            }
             let ma = a.iter().sum::<f64>() / a.len() as f64;
             let mb = b.iter().sum::<f64>() / b.len() as f64;
             let mut cov = 0.0;
@@ -83,7 +123,7 @@ pub fn pairwise_distance(kind: DistanceKind, a: &[f64], b: &[f64]) -> f64 {
                 va += (x - ma) * (x - ma);
                 vb += (y - mb) * (y - mb);
             }
-            if va <= f64::EPSILON || vb <= f64::EPSILON {
+            if correlation_is_degenerate(va, a.len()) || correlation_is_degenerate(vb, b.len()) {
                 return 1.0;
             }
             1.0 - cov / (va.sqrt() * vb.sqrt())
@@ -117,6 +157,98 @@ pub fn pairwise_distance(kind: DistanceKind, a: &[f64], b: &[f64]) -> f64 {
         DistanceKind::Cityblock => a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum(),
         DistanceKind::Sqeuclidean => a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum(),
     }
+}
+
+/// All eight distances between `a` and `b` computed in **one traversal** of
+/// the two vectors, written to `out` in [`DistanceKind::ALL`] order.
+///
+/// This is the hot kernel of the link-stealing attack evaluation: the naive
+/// path walks every node pair once per metric (8 traversals); this one
+/// accumulates the raw moments every metric needs (`Σab`, `Σa²`, `Σb²`, `Σa`,
+/// `Σb`, `Σ|a−b|`, `max|a−b|`, `Σ(a−b)²`, `Σ|a+b|`, the Canberra sum) in a
+/// single loop and derives each distance from them.  Per-metric accumulation
+/// order matches the corresponding single-metric loop in
+/// [`pairwise_distance`], so all metrics except `Correlation` (which here
+/// uses raw instead of centered moments) are bit-identical to the reference;
+/// `Correlation` agrees to ~1e-9 on probability vectors.
+///
+/// # Panics
+/// Panics when `a` and `b` differ in length or `out` is not
+/// [`N_DISTANCE_KINDS`] long.
+pub fn multi_distance(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "distance requires equal-length vectors");
+    assert_eq!(
+        out.len(),
+        N_DISTANCE_KINDS,
+        "output slice must hold 8 values"
+    );
+    let mut dot = 0.0;
+    let mut na2 = 0.0;
+    let mut nb2 = 0.0;
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    let mut abs_diff = 0.0;
+    let mut max_diff = 0.0_f64;
+    let mut sq_diff = 0.0;
+    let mut abs_sum = 0.0;
+    let mut canberra = 0.0;
+    let mut identical = true;
+    for (&x, &y) in a.iter().zip(b) {
+        identical &= x == y;
+        dot += x * y;
+        na2 += x * x;
+        nb2 += y * y;
+        sum_a += x;
+        sum_b += y;
+        let d = (x - y).abs();
+        abs_diff += d;
+        max_diff = max_diff.max(d);
+        sq_diff += (x - y) * (x - y);
+        abs_sum += (x + y).abs();
+        let den = x.abs() + y.abs();
+        if den != 0.0 {
+            canberra += d / den;
+        }
+    }
+
+    out[DistanceKind::Cosine.index()] = if identical {
+        0.0
+    } else {
+        let na = na2.sqrt();
+        let nb = nb2.sqrt();
+        if na == 0.0 || nb == 0.0 {
+            1.0
+        } else {
+            1.0 - dot / (na * nb)
+        }
+    };
+    out[DistanceKind::Euclidean.index()] = sq_diff.sqrt();
+    out[DistanceKind::Correlation.index()] = if identical {
+        0.0
+    } else {
+        let n = a.len() as f64;
+        let ma = sum_a / n;
+        let mb = sum_b / n;
+        // Centered moments from raw sums; clamp the tiny negative values the
+        // cancellation can produce for near-constant vectors.
+        let cov = dot - n * ma * mb;
+        let va = (na2 - n * ma * ma).max(0.0);
+        let vb = (nb2 - n * mb * mb).max(0.0);
+        if correlation_is_degenerate(va, a.len()) || correlation_is_degenerate(vb, b.len()) {
+            1.0
+        } else {
+            1.0 - cov / (va.sqrt() * vb.sqrt())
+        }
+    };
+    out[DistanceKind::Chebyshev.index()] = max_diff;
+    out[DistanceKind::Braycurtis.index()] = if abs_sum == 0.0 {
+        0.0
+    } else {
+        abs_diff / abs_sum
+    };
+    out[DistanceKind::Canberra.index()] = canberra;
+    out[DistanceKind::Cityblock.index()] = abs_diff;
+    out[DistanceKind::Sqeuclidean.index()] = sq_diff;
 }
 
 #[cfg(test)]
@@ -177,6 +309,99 @@ mod tests {
         for kind in DistanceKind::ALL {
             let d = pairwise_distance(kind, &zero, &constant);
             assert!(d.is_finite(), "{} produced a non-finite value", kind.name());
+        }
+    }
+
+    #[test]
+    fn identical_degenerate_vectors_have_zero_distance() {
+        // Regression: Cosine used to return 1.0 for two zero vectors and
+        // Correlation 1.0 for two identical constant vectors, violating the
+        // documented "0 for identical vectors" contract.
+        let zero = [0.0, 0.0, 0.0];
+        let constant = [0.9, 0.9, 0.9];
+        for kind in DistanceKind::ALL {
+            let dz = pairwise_distance(kind, &zero, &zero);
+            let dc = pairwise_distance(kind, &constant, &constant);
+            assert_eq!(dz, 0.0, "{}: d(0,0) = {dz}", kind.name());
+            assert_eq!(dc, 0.0, "{}: d(c,c) = {dc}", kind.name());
+        }
+    }
+
+    #[test]
+    fn non_identical_degenerate_vectors_keep_the_undefined_sentinel() {
+        let zero = [0.0, 0.0];
+        let constant = [0.5, 0.5];
+        let varying = [0.2, 0.8];
+        assert_eq!(
+            pairwise_distance(DistanceKind::Cosine, &zero, &varying),
+            1.0
+        );
+        assert_eq!(
+            pairwise_distance(DistanceKind::Correlation, &constant, &varying),
+            1.0
+        );
+        assert_eq!(
+            pairwise_distance(DistanceKind::Correlation, &zero, &constant),
+            1.0
+        );
+    }
+
+    #[test]
+    fn correlation_survives_low_but_real_variance() {
+        // Near-uniform posteriors (the output of a strongly defended model)
+        // with deviations ~1e-7 carry real correlation structure and must
+        // NOT be collapsed to the degenerate 1.0 sentinel — only the band
+        // below the raw-moment rounding noise (~3e-8 deviations) may be.
+        let a = [0.25 + 1e-7, 0.25 - 1e-7, 0.25 + 2e-7, 0.25 - 2e-7];
+        let b = [0.25 + 2e-7, 0.25 - 2e-7, 0.25 + 4e-7, 0.25 - 4e-7];
+        let d = pairwise_distance(DistanceKind::Correlation, &a, &b);
+        assert!(
+            d < 1e-6,
+            "perfectly correlated low-variance vectors must give d ≈ 0, got {d}"
+        );
+        let mut out = [0.0; N_DISTANCE_KINDS];
+        multi_distance(&a, &b, &mut out);
+        assert!(
+            (out[DistanceKind::Correlation.index()] - d).abs() < 1e-3,
+            "kernel {} vs reference {d} in the low-variance regime",
+            out[DistanceKind::Correlation.index()]
+        );
+    }
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, kind) in DistanceKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{} out of order", kind.name());
+        }
+    }
+
+    #[test]
+    fn multi_distance_matches_the_single_metric_reference() {
+        let cases: [(&[f64], &[f64]); 6] = [
+            (&A, &B),
+            (&A, &A),
+            (&[0.0, 0.0, 0.0], &[0.5, 0.5, 0.5]),
+            (&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0]),
+            (&[0.9, 0.9, 0.9], &[0.9, 0.9, 0.9]),
+            (&[1.0, 0.0], &[0.0, 1.0]),
+        ];
+        let mut out = [0.0; N_DISTANCE_KINDS];
+        for (a, b) in cases {
+            multi_distance(a, b, &mut out);
+            for kind in DistanceKind::ALL {
+                let reference = pairwise_distance(kind, a, b);
+                let got = out[kind.index()];
+                let tol = if kind == DistanceKind::Correlation {
+                    1e-9
+                } else {
+                    0.0
+                };
+                assert!(
+                    (got - reference).abs() <= tol,
+                    "{}: kernel {got} vs reference {reference} on {a:?} / {b:?}",
+                    kind.name()
+                );
+            }
         }
     }
 }

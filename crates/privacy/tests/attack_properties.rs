@@ -1,0 +1,98 @@
+//! Property tests for the attack layer: metric axioms for every
+//! `DistanceKind`, single-pass kernel vs single-metric reference, and the
+//! rank-based AUC vs the quadratic oracle.
+
+use ppfr_linalg::row_softmax;
+use ppfr_linalg::Matrix;
+use ppfr_privacy::{
+    auc_from_distances, auc_from_distances_quadratic, multi_distance, pairwise_distance,
+    DistanceKind, N_DISTANCE_KINDS,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random probability matrix with rows summing to one.
+fn arb_probs(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f64..4.0, rows * cols)
+        .prop_map(move |logits| row_softmax(&Matrix::from_vec(rows, cols, logits)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_distance_kind_is_symmetric_non_negative_and_zero_on_identical(
+        probs in arb_probs(8, 4),
+        i in 0usize..8,
+        j in 0usize..8,
+    ) {
+        for kind in DistanceKind::ALL {
+            let d_ij = pairwise_distance(kind, probs.row(i), probs.row(j));
+            let d_ji = pairwise_distance(kind, probs.row(j), probs.row(i));
+            prop_assert!(d_ij >= -1e-12, "{}: negative distance {}", kind.name(), d_ij);
+            prop_assert!((d_ij - d_ji).abs() < 1e-9, "{}: asymmetric", kind.name());
+            let d_ii = pairwise_distance(kind, probs.row(i), probs.row(i));
+            prop_assert!(d_ii == 0.0, "{}: d(x,x) = {}", kind.name(), d_ii);
+        }
+    }
+
+    #[test]
+    fn single_pass_kernel_matches_the_single_metric_reference(
+        probs in arb_probs(6, 5),
+        i in 0usize..6,
+        j in 0usize..6,
+    ) {
+        let mut out = [0.0; N_DISTANCE_KINDS];
+        multi_distance(probs.row(i), probs.row(j), &mut out);
+        for kind in DistanceKind::ALL {
+            let reference = pairwise_distance(kind, probs.row(i), probs.row(j));
+            let tol = if kind == DistanceKind::Correlation { 1e-8 } else { 0.0 };
+            prop_assert!(
+                (out[kind.index()] - reference).abs() <= tol,
+                "{}: kernel {} vs reference {}",
+                kind.name(),
+                out[kind.index()],
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn rank_auc_equals_quadratic_oracle_on_tie_free_samples(
+        pos in proptest::collection::vec(0.0f64..2.0, 1..60),
+        neg in proptest::collection::vec(0.0f64..2.0, 1..60),
+    ) {
+        // Continuous draws are tie-free almost surely; the contract demands
+        // 1e-12 agreement there.
+        let fast = auc_from_distances(&pos, &neg);
+        let slow = auc_from_distances_quadratic(&pos, &neg);
+        prop_assert!(
+            (fast - slow).abs() < 1e-12,
+            "rank {} vs quadratic {}",
+            fast,
+            slow
+        );
+        prop_assert!((0.0..=1.0).contains(&fast));
+    }
+
+    #[test]
+    fn rank_auc_matches_oracle_under_heavy_ties(
+        raw_pos in proptest::collection::vec(0u32..6, 1..40),
+        raw_neg in proptest::collection::vec(0u32..6, 1..40),
+    ) {
+        // Quantised values force many exact ties; both paths must count each
+        // tie as half a win.
+        let pos: Vec<f64> = raw_pos.iter().map(|&v| v as f64 / 4.0).collect();
+        let neg: Vec<f64> = raw_neg.iter().map(|&v| v as f64 / 4.0).collect();
+        let fast = auc_from_distances(&pos, &neg);
+        let slow = auc_from_distances_quadratic(&pos, &neg);
+        prop_assert!(
+            (fast - slow).abs() < 1e-12,
+            "rank {} vs quadratic {} on tied inputs",
+            fast,
+            slow
+        );
+        // Mirror symmetry must hold exactly with midrank tie handling.
+        let swapped = auc_from_distances(&neg, &pos);
+        prop_assert!((fast + swapped - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Large-SBM scaling scenario for the attack evaluator.
+//!
+//! The seed implementation scored the attack with an `O(|pos|·|neg|)` AUC
+//! loop per metric — on the ~100k positive + 100k negative pairs below that
+//! is ~8 × 10¹⁰ comparisons, far beyond any test budget.  The rank-based
+//! single-pass [`AttackEvaluator`] finishes the same evaluation in seconds
+//! even in a debug build, which is the point of this test.
+
+use ppfr_datasets::sparse_sbm;
+use ppfr_linalg::Matrix;
+use ppfr_privacy::{AttackEvaluator, DistanceKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn twenty_thousand_node_sbm_attack_evaluation_completes() {
+    let n = 20_000;
+    let (graph, labels) = sparse_sbm(n, 2, 9.0, 1.0, 99);
+    assert!(graph.n_nodes() == n);
+    assert!(
+        graph.n_edges() > 80_000,
+        "scenario needs ≥80k positive pairs, got {}",
+        graph.n_edges()
+    );
+
+    // Synthetic block-separated posteriors with a deterministic per-node
+    // wiggle, standing in for a trained model's predictions: nodes in the
+    // same block (where most edges live) get similar rows.
+    let mut probs = Matrix::zeros(n, 2);
+    for v in 0..n {
+        let wiggle = (v % 97) as f64 * 1e-3;
+        let hi = 0.85 - wiggle;
+        let lo = 1.0 - hi;
+        if labels[v] == 0 {
+            probs[(v, 0)] = hi;
+            probs[(v, 1)] = lo;
+        } else {
+            probs[(v, 0)] = lo;
+            probs[(v, 1)] = hi;
+        }
+    }
+
+    // Deterministic negative sampling: the seeded RNG plus the dedup set
+    // makes the sample reproducible across runs.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut evaluator = AttackEvaluator::from_graph(&graph, &mut rng);
+    let (n_pos, n_neg) = evaluator.sample().counts();
+    assert_eq!(n_pos, graph.n_edges());
+    assert_eq!(
+        n_neg, n_pos,
+        "sparse 20k-node graph must fill all negatives"
+    );
+
+    let report = evaluator.evaluate(&probs);
+    assert_eq!(report.auc_per_distance.len(), 8);
+    for &(kind, auc) in &report.auc_per_distance {
+        assert!(
+            (0.0..=1.0).contains(&auc),
+            "{}: AUC {auc} out of range",
+            kind.name()
+        );
+    }
+    // ~90% of edges are intra-block (close posteriors) while only ~50% of
+    // random non-edges are, so the attack must clear chance by a wide margin.
+    assert!(
+        report.average_auc > 0.6,
+        "block-separated posteriors must leak edges, got {}",
+        report.average_auc
+    );
+    assert!(report.risk_gap > 0.0);
+
+    // Re-scoring different posteriors reuses the sample and buffers: uniform
+    // predictions must drop the attack to chance level.
+    let uniform = Matrix::filled(n, 2, 0.5);
+    let blind = evaluator.evaluate(&uniform);
+    assert!(
+        (blind.average_auc - 0.5).abs() < 0.02,
+        "no information ⇒ AUC ≈ 0.5, got {}",
+        blind.average_auc
+    );
+    assert!(blind.average_auc < report.average_auc);
+}
+
+#[test]
+fn large_sample_rank_auc_matches_oracle_on_a_subsample() {
+    // Spot-check the rank AUC against the quadratic oracle on a slice of the
+    // large scenario small enough for the oracle to afford.
+    let (graph, labels) = sparse_sbm(2_000, 2, 6.0, 2.0, 5);
+    let mut probs = Matrix::zeros(2_000, 2);
+    for v in 0..2_000 {
+        let p = if labels[v] == 0 { 0.8 } else { 0.2 };
+        probs[(v, 0)] = p;
+        probs[(v, 1)] = 1.0 - p;
+    }
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut evaluator = AttackEvaluator::from_graph(&graph, &mut rng);
+    evaluator.distances(&probs);
+    let (pos, neg) = evaluator.table().split(DistanceKind::Euclidean);
+    let fast = ppfr_privacy::auc_from_distances(&pos, &neg);
+    let slow = ppfr_privacy::auc_from_distances_quadratic(&pos[..400], &neg[..400]);
+    let fast_sub = ppfr_privacy::auc_from_distances(&pos[..400], &neg[..400]);
+    assert!(
+        (fast_sub - slow).abs() < 1e-12,
+        "rank {fast_sub} vs quadratic {slow}"
+    );
+    assert!((0.0..=1.0).contains(&fast));
+}

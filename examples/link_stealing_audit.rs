@@ -7,27 +7,34 @@
 //!
 //! Run with: `cargo run --release -p ppfr-core --example link_stealing_audit`
 
-use ppfr_core::{attack_sample, predictions, run_method, Method, PpfrConfig};
+use ppfr_core::{attack_evaluator, predictions, run_method, Method, PpfrConfig};
 use ppfr_datasets::{citeseer, generate, Dataset};
 use ppfr_gnn::{train, AnyModel, FairnessReg, GnnModel, GraphContext, ModelKind, TrainConfig};
 use ppfr_graph::{jaccard_similarity, similarity_laplacian};
 use ppfr_linalg::row_softmax;
 use ppfr_nn::accuracy;
-use ppfr_privacy::{auc_per_distance, cluster_attack, edge_rand, lap_graph, DistanceKind};
+use ppfr_privacy::{cluster_attack, edge_rand, lap_graph, AttackEvaluator, DistanceKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn audit(label: &str, probs: &ppfr_linalg::Matrix, dataset: &Dataset, cfg: &PpfrConfig) {
-    let sample = attack_sample(dataset, cfg);
+fn audit(
+    label: &str,
+    probs: &ppfr_linalg::Matrix,
+    dataset: &Dataset,
+    evaluator: &mut AttackEvaluator,
+) {
     println!("\n== {label} ==");
     println!(
         "  test accuracy: {:.2}%",
         accuracy(probs, &dataset.labels, &dataset.splits.test) * 100.0
     );
-    for (kind, auc) in auc_per_distance(probs, &sample) {
+    // Every victim is attacked on the same cached pair sample; only the
+    // posteriors change between audits.
+    let report = evaluator.evaluate(probs);
+    for (kind, auc) in report.auc_per_distance {
         println!("  attack AUC [{:<12}] = {:.4}", kind.name(), auc);
     }
-    let cluster = cluster_attack(probs, &sample, DistanceKind::Euclidean);
+    let cluster = cluster_attack(probs, evaluator.sample(), DistanceKind::Euclidean);
     println!(
         "  2-means clustering attack: accuracy {:.3}, precision {:.3}, recall {:.3}, F1 {:.3}",
         cluster.accuracy, cluster.precision, cluster.recall, cluster.f1
@@ -44,13 +51,15 @@ fn main() {
         dataset.graph.n_edges()
     );
 
+    let mut evaluator = attack_evaluator(&dataset, &cfg);
+
     // Victim 1: vanilla GCN on the original graph.
     let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
     audit(
         "vanilla GCN (no defence)",
         &predictions(&vanilla, &cfg),
         &dataset,
-        &cfg,
+        &mut evaluator,
     );
 
     // Victim 2: fairness-regularised GCN — the attack gets stronger.
@@ -59,7 +68,7 @@ fn main() {
         "fairness-regularised GCN (Reg)",
         &predictions(&reg, &cfg),
         &dataset,
-        &cfg,
+        &mut evaluator,
     );
 
     // Defences: retrain on an edge-DP graph and audit again.
@@ -105,7 +114,7 @@ fn main() {
             &format!("GCN + fairness Reg + {name}"),
             &probs,
             &dataset,
-            &cfg,
+            &mut evaluator,
         );
     }
 }
