@@ -1,0 +1,70 @@
+//! Property tests for the pair-feature extraction: every extracted channel is
+//! finite on probability-vector inputs, and the whole row is symmetric in the
+//! pair order — `(u, v)` and `(v, u)` must extract the *same* feature vector,
+//! or a classifier could learn the sampling order instead of the structure.
+
+use ppfr_attacks::{n_channels, pair_feature_row};
+use ppfr_linalg::{row_softmax, Matrix};
+use proptest::prelude::*;
+
+const N: usize = 8;
+
+/// Random probability rows (softmaxed logits).
+fn arb_probs() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f64..4.0, N * 4)
+        .prop_map(|logits| row_softmax(&Matrix::from_vec(N, 4, logits)))
+}
+
+/// Random sparse binary feature rows.
+fn arb_features() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0u32..2, N * 6)
+        .prop_map(|bits| Matrix::from_vec(N, 6, bits.into_iter().map(f64::from).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pair_features_are_finite_and_symmetric_in_the_pair_order(
+        probs in arb_probs(),
+        features in arb_features(),
+        u in 0usize..N,
+        v in 0usize..N,
+    ) {
+        for with_features in [false, true] {
+            let feat = with_features.then_some(&features);
+            let d = n_channels(with_features);
+            let mut uv = vec![0.0; d];
+            let mut vu = vec![0.0; d];
+            pair_feature_row(&probs, feat, u, v, &mut uv);
+            pair_feature_row(&probs, feat, v, u, &mut vu);
+            for (c, (&a, &b)) in uv.iter().zip(vu.iter()).enumerate() {
+                prop_assert!(a.is_finite(), "channel {c} not finite: {a}");
+                prop_assert!(
+                    a == b,
+                    "channel {c} asymmetric: ({u},{v}) -> {a} vs ({v},{u}) -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_nodes_extract_zero_distance_channels(
+        probs in arb_probs(),
+        features in arb_features(),
+        u in 0usize..N,
+    ) {
+        let d = n_channels(true);
+        let mut row = vec![0.0; d];
+        pair_feature_row(&probs, Some(&features), u, u, &mut row);
+        // The eight distances and the feature distances are 0 for (u, u);
+        // the entropy-gap channel too.  Only entropy_mean may be non-zero.
+        for (c, &value) in row.iter().enumerate() {
+            if c == ppfr_privacy::N_DISTANCE_KINDS {
+                prop_assert!(value >= 0.0);
+            } else {
+                prop_assert!(value.abs() < 1e-12, "channel {c} = {value} for (u,u)");
+            }
+        }
+    }
+}

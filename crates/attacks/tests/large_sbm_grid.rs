@@ -1,0 +1,82 @@
+//! Scaling scenario: the full threat-model grid (unsupervised baseline + all
+//! four supervised adversary settings, including shadow construction) must
+//! run end-to-end on a 20k-node sparse SBM well inside a debug-build test
+//! budget.  Everything downstream of the `O(n·d̄)` generators is linear in
+//! the number of sampled pairs, so ~190k pairs × 12 channels stays cheap.
+
+use ppfr_attacks::{AttackTrainConfig, ThreatAuditor};
+use ppfr_datasets::sparse_sbm_dataset;
+use ppfr_linalg::Matrix;
+use ppfr_privacy::PairSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[test]
+fn twenty_thousand_node_threat_grid_completes_quickly() {
+    let started = Instant::now();
+    let n = 20_000;
+    let ds = sparse_sbm_dataset(n, 2, 9.0, 1.0, 16, 99);
+    assert!(
+        ds.graph.n_edges() > 80_000,
+        "scenario needs ≥80k positive pairs, got {}",
+        ds.graph.n_edges()
+    );
+
+    // Block-separated posteriors with a deterministic wiggle (a trained
+    // victim's signal), as in the privacy crate's large-SBM scenario.
+    let mut probs = Matrix::zeros(n, 2);
+    for v in 0..n {
+        let wiggle = (v % 97) as f64 * 1e-3;
+        let hi = 0.85 - wiggle;
+        if ds.labels[v] == 0 {
+            probs[(v, 0)] = hi;
+            probs[(v, 1)] = 1.0 - hi;
+        } else {
+            probs[(v, 0)] = 1.0 - hi;
+            probs[(v, 1)] = hi;
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let sample = PairSample::balanced(&ds.graph, &mut rng);
+    let mut auditor = ThreatAuditor::for_dataset(&ds, sample, AttackTrainConfig::default(), 0xfade);
+    let report = auditor.audit(&probs);
+
+    assert_eq!(report.outcomes.len(), 4, "the full grid must run");
+    for o in &report.outcomes {
+        assert!(
+            (0.0..=1.0).contains(&o.auc),
+            "{}: AUC {} out of range",
+            o.name,
+            o.auc
+        );
+        assert!(o.n_train > 0 && o.n_eval > 0);
+    }
+    assert!(
+        report.unsupervised.average_auc > 0.6,
+        "block posteriors must leak, got {}",
+        report.unsupervised.average_auc
+    );
+    assert!(
+        report.worst_case_auc >= report.best_unsupervised_auc() - 0.02,
+        "worst case {} below unsupervised best {}",
+        report.worst_case_auc,
+        report.best_unsupervised_auc()
+    );
+
+    // Re-auditing new posteriors reuses the sample, shadow and buffers.
+    let uniform = Matrix::filled(n, 2, 0.5);
+    let blind = auditor.audit(&uniform);
+    assert!(
+        (blind.unsupervised.average_auc - 0.5).abs() < 0.02,
+        "uniform posteriors must not leak"
+    );
+
+    let elapsed = started.elapsed();
+    println!("20k-node threat grid (two audits): {elapsed:?}");
+    assert!(
+        elapsed.as_secs() < 60,
+        "grid took {elapsed:?}, far beyond the ~30 s debug budget"
+    );
+}

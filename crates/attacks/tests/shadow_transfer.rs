@@ -1,0 +1,61 @@
+//! Shadow-transfer sanity: on a homophilous SBM whose posteriors carry the
+//! usual block signal, a supervised adversary must be at least as strong as
+//! the best unsupervised single-distance attack — that ordering is the whole
+//! reason the threat grid exists.
+
+use ppfr_attacks::{AttackTrainConfig, ThreatAuditor};
+use ppfr_datasets::sparse_sbm_dataset;
+use ppfr_linalg::{row_softmax, Matrix};
+use ppfr_privacy::PairSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn supervised_attack_beats_the_best_unsupervised_distance() {
+    // Strongly homophilous: ~7 intra-block vs ~1 cross-block expected degree.
+    let ds = sparse_sbm_dataset(1_200, 2, 7.0, 1.0, 24, 13);
+    let mut rng = StdRng::seed_from_u64(3);
+    let sample = PairSample::balanced(&ds.graph, &mut rng);
+    let cfg = AttackTrainConfig {
+        epochs: 80,
+        ..AttackTrainConfig::default()
+    };
+    let mut auditor = ThreatAuditor::for_dataset(&ds, sample, cfg, 0x5eed);
+
+    // A trained victim's posteriors: confident block predictions with a
+    // deterministic wiggle so pairs stay distinguishable.
+    let mut logits = Matrix::zeros(ds.n_nodes(), 2);
+    for v in 0..ds.n_nodes() {
+        logits[(v, ds.labels[v])] = 2.5 - (v % 23) as f64 * 0.03;
+    }
+    let probs = row_softmax(&logits);
+
+    let report = auditor.audit(&probs);
+    let best_unsupervised = report.best_unsupervised_auc();
+    assert!(
+        best_unsupervised > 0.55,
+        "the scenario must leak in the first place, got {best_unsupervised}"
+    );
+    // Every shadow adversary clears the unsupervised bar (small slack for
+    // the train→target transfer gap of rank statistics).
+    for o in report.outcomes.iter().filter(|o| o.model.shadow_dataset) {
+        assert!(
+            o.auc >= best_unsupervised - 0.02,
+            "{}: supervised AUC {} below unsupervised best {}",
+            o.name,
+            o.auc,
+            best_unsupervised
+        );
+    }
+    // And the grid's worst case dominates it outright.
+    assert!(
+        report.worst_case_auc >= best_unsupervised,
+        "worst-case {} must dominate the unsupervised best {}",
+        report.worst_case_auc,
+        best_unsupervised
+    );
+    assert!(
+        report.worst_case_auc >= report.unsupervised.average_auc,
+        "worst-case must dominate the mean-distance AUC"
+    );
+}

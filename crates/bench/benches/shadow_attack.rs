@@ -1,0 +1,122 @@
+//! Benchmarks of the supervised shadow-attack subsystem.
+//!
+//! Three stages dominate a threat-grid audit and are timed separately:
+//! batched pair-feature extraction (parallel over pair chunks), attack
+//! classifier training (logistic and MLP via `ppfr_nn`), and the full
+//! four-setting grid end-to-end through `ThreatAuditor`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppfr_attacks::{
+    AttackTrainConfig, ClassifierKind, PairFeatureTable, ThreatAuditor, TrainedAttack,
+};
+use ppfr_datasets::sparse_sbm_dataset;
+use ppfr_linalg::{row_softmax, Matrix};
+use ppfr_privacy::{AttackEvaluator, PairSample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+struct Setup {
+    probs: Matrix,
+    features: Matrix,
+    evaluator: AttackEvaluator,
+    sample: PairSample,
+    dataset: ppfr_datasets::Dataset,
+}
+
+fn setup() -> Setup {
+    let dataset = sparse_sbm_dataset(2_000, 2, 7.0, 1.5, 24, 7);
+    let mut logits = Matrix::zeros(dataset.n_nodes(), 2);
+    for v in 0..dataset.n_nodes() {
+        logits[(v, dataset.labels[v])] = 2.0 + (v % 19) as f64 * 0.02;
+    }
+    let probs = row_softmax(&logits);
+    let mut rng = StdRng::seed_from_u64(5);
+    let sample = PairSample::balanced(&dataset.graph, &mut rng);
+    let mut evaluator = AttackEvaluator::new(sample.clone());
+    evaluator.distances(&probs);
+    Setup {
+        features: dataset.features.clone(),
+        probs,
+        evaluator,
+        sample,
+        dataset,
+    }
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("shadow_attack_features");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("extract_parallel", |b| {
+        b.iter(|| {
+            PairFeatureTable::from_distances(
+                s.evaluator.table(),
+                &s.sample,
+                &s.probs,
+                Some(&s.features),
+                true,
+            )
+        })
+    });
+    group.bench_function("extract_serial", |b| {
+        b.iter(|| {
+            PairFeatureTable::from_distances(
+                s.evaluator.table(),
+                &s.sample,
+                &s.probs,
+                Some(&s.features),
+                false,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_classifier_training(c: &mut Criterion) {
+    let s = setup();
+    let table =
+        PairFeatureTable::from_distances(s.evaluator.table(), &s.sample, &s.probs, None, true);
+    let all: Vec<usize> = (0..table.n_pairs()).collect();
+    let mut group = c.benchmark_group("shadow_attack_training");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("train_logistic", |b| {
+        b.iter(|| TrainedAttack::fit(&table, &all, &AttackTrainConfig::default()))
+    });
+    let mlp = AttackTrainConfig {
+        kind: ClassifierKind::Mlp { hidden: 8 },
+        ..AttackTrainConfig::default()
+    };
+    group.bench_function("train_mlp8", |b| {
+        b.iter(|| TrainedAttack::fit(&table, &all, &mlp))
+    });
+    group.finish();
+}
+
+fn bench_full_grid(c: &mut Criterion) {
+    let s = setup();
+    let mut auditor = ThreatAuditor::for_dataset(
+        &s.dataset,
+        s.sample.clone(),
+        AttackTrainConfig::default(),
+        0xbe_ef,
+    );
+    let mut group = c.benchmark_group("shadow_attack_grid");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("four_threat_models", |b| b.iter(|| auditor.audit(&s.probs)));
+    group.finish();
+}
+
+criterion_group!(
+    shadow_attack,
+    bench_feature_extraction,
+    bench_classifier_training,
+    bench_full_grid
+);
+criterion_main!(shadow_attack);

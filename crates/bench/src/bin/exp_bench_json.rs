@@ -50,6 +50,17 @@ pub struct PathBench {
     pub speedup: f64,
 }
 
+/// One stage of the supervised attack subsystem (`ppfr_attacks`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackStageBench {
+    /// Stage name (e.g. `feature_extract_parallel`, `classifier_train_logistic`).
+    pub stage: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Best-of-reps wall time (milliseconds).
+    pub ms: f64,
+}
+
 /// The full report written to `BENCH_kernels.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -61,6 +72,9 @@ pub struct BenchReport {
     pub kernels: Vec<KernelBench>,
     /// Old-vs-new algorithmic path comparisons.
     pub paths: Vec<PathBench>,
+    /// Supervised attack-stage timings (feature extraction, classifier
+    /// training) from `ppfr_attacks`.
+    pub attacks: Vec<AttackStageBench>,
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds.
@@ -207,11 +221,70 @@ fn main() {
         path.path, path.size, path.legacy_ms, path.rebuilt_ms, path.speedup
     );
 
+    // Supervised attack stages: batched pair-feature extraction (serial vs
+    // parallel) and attack-classifier training (logistic and MLP).
+    let mut attacks = Vec::new();
+    {
+        use ppfr_attacks::{AttackTrainConfig, ClassifierKind, PairFeatureTable, TrainedAttack};
+        ev_parallel.distances(&probs);
+        let features = &ds.features;
+        let size = format!(
+            "pairs={} ch=12",
+            sample.positives.len() + sample.negatives.len()
+        );
+        let mut record = |stage: &str, size: &str, ms: f64| {
+            println!("{stage:<32} {size:<18} {ms:>9.3} ms");
+            attacks.push(AttackStageBench {
+                stage: stage.to_string(),
+                size: size.to_string(),
+                ms,
+            });
+        };
+        let extract = |parallel: bool| {
+            PairFeatureTable::from_distances(
+                ev_parallel.table(),
+                &sample,
+                &probs,
+                Some(features),
+                parallel,
+            )
+        };
+        record(
+            "attack_feature_extract_serial",
+            &size,
+            best_ms(reps, || extract(false)),
+        );
+        record(
+            "attack_feature_extract_parallel",
+            &size,
+            best_ms(reps, || extract(true)),
+        );
+        let table = extract(true);
+        let all: Vec<usize> = (0..table.n_pairs()).collect();
+        record(
+            "attack_classifier_train_logistic",
+            &size,
+            best_ms(reps, || {
+                TrainedAttack::fit(&table, &all, &AttackTrainConfig::default())
+            }),
+        );
+        let mlp = AttackTrainConfig {
+            kind: ClassifierKind::Mlp { hidden: 8 },
+            ..AttackTrainConfig::default()
+        };
+        record(
+            "attack_classifier_train_mlp8",
+            &size,
+            best_ms(reps, || TrainedAttack::fit(&table, &all, &mlp)),
+        );
+    }
+
     let report = BenchReport {
         threads,
         reps,
         kernels,
         paths: vec![path],
+        attacks,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

@@ -1,6 +1,13 @@
 //! Evaluation harness: accuracy, bias, privacy risk and the Δ metric (Eq. 22).
+//!
+//! Privacy risk is reported twice: the paper's headline number (mean
+//! unsupervised attack AUC over the eight posterior distances) and the
+//! worst case over the supervised threat-model grid of `ppfr_attacks`
+//! (shadow-model / partial-knowledge adversaries), so defences are judged
+//! against the strongest adversary, not only the weakest.
 
 use crate::{PpfrConfig, TrainedOutcome};
+use ppfr_attacks::{AttackTrainConfig, ThreatAuditor};
 use ppfr_datasets::Dataset;
 use ppfr_fairness::bias;
 use ppfr_gnn::GnnModel;
@@ -23,6 +30,11 @@ pub struct Evaluation {
     pub risk_gap: f64,
     /// Attack AUC per distance metric (the Fig. 4 series).
     pub auc_per_distance: Vec<(String, f64)>,
+    /// Worst-case attack AUC over the supervised threat-model grid (and the
+    /// per-distance unsupervised thresholds available to every adversary).
+    pub worst_risk_auc: f64,
+    /// Supervised attack AUC per threat model, in registry order.
+    pub auc_per_threat: Vec<(String, f64)>,
 }
 
 /// Relative changes of a method against the vanilla reference (Eq. 22).
@@ -56,44 +68,67 @@ pub fn attack_sample(dataset: &Dataset, cfg: &PpfrConfig) -> PairSample {
     PairSample::balanced(&dataset.graph, &mut rng)
 }
 
-/// The attack evaluator over [`attack_sample`]'s pairs.  Build it **once per
-/// (dataset, config)** and pass it to [`evaluate_with`] for every method:
-/// the sample and the distance buffers are cached inside, so posteriors are
-/// the only thing recomputed per method.
+/// The attack evaluator over [`attack_sample`]'s pairs — the *unsupervised*
+/// attack surface, kept for callers (benches, ablation internals) that do not
+/// need the supervised grid.
 pub fn attack_evaluator(dataset: &Dataset, cfg: &PpfrConfig) -> AttackEvaluator {
     AttackEvaluator::new(attack_sample(dataset, cfg))
 }
 
-/// Evaluates a trained outcome: accuracy on the test split, InFoRM bias
-/// against the original similarity, and link-stealing risk against the
-/// original edges.
-pub fn evaluate(outcome: &TrainedOutcome, dataset: &Dataset, cfg: &PpfrConfig) -> Evaluation {
-    let mut evaluator = attack_evaluator(dataset, cfg);
-    evaluate_with(outcome, dataset, cfg, &mut evaluator)
+/// The full threat auditor over [`attack_sample`]'s pairs: the unsupervised
+/// evaluator plus the supervised threat-model grid of `ppfr_attacks`
+/// (shadow dataset, feature knowledge, partial edge disclosure).  Build it
+/// **once per (dataset, config)** and pass it to [`evaluate_with`] for every
+/// method: the pair sample, the distance buffers, the shadow dataset and its
+/// cached feature tables are all reused; posteriors are the only thing
+/// recomputed per method.
+pub fn threat_auditor(dataset: &Dataset, cfg: &PpfrConfig) -> ThreatAuditor {
+    let base = AttackTrainConfig {
+        seed: cfg.seed ^ 0x5ead_f00d,
+        ..AttackTrainConfig::default()
+    };
+    ThreatAuditor::for_dataset(
+        dataset,
+        attack_sample(dataset, cfg),
+        base,
+        cfg.seed ^ 0x51ab,
+    )
 }
 
-/// [`evaluate`] against a shared [`AttackEvaluator`] — the cheap path when
+/// Evaluates a trained outcome: accuracy on the test split, InFoRM bias
+/// against the original similarity, and link-stealing risk against the
+/// original edges (both the mean-distance AUC and the worst-case supervised
+/// threat-model AUC).
+pub fn evaluate(outcome: &TrainedOutcome, dataset: &Dataset, cfg: &PpfrConfig) -> Evaluation {
+    let mut auditor = threat_auditor(dataset, cfg);
+    evaluate_with(outcome, dataset, cfg, &mut auditor)
+}
+
+/// [`evaluate`] against a shared [`ThreatAuditor`] — the cheap path when
 /// several methods are scored on the same dataset and configuration.
 pub fn evaluate_with(
     outcome: &TrainedOutcome,
     dataset: &Dataset,
     cfg: &PpfrConfig,
-    evaluator: &mut AttackEvaluator,
+    auditor: &mut ThreatAuditor,
 ) -> Evaluation {
     let probs = predictions(outcome, cfg);
     let accuracy = ppfr_nn::accuracy(&probs, &dataset.labels, &dataset.splits.test);
     let bias_value = bias(&probs, &outcome.similarity_laplacian);
-    let report = evaluator.evaluate(&probs);
+    let grid = auditor.audit(&probs);
     Evaluation {
         accuracy,
         bias: bias_value,
-        risk_auc: report.average_auc,
-        risk_gap: report.risk_gap,
-        auc_per_distance: report
+        risk_auc: grid.unsupervised.average_auc,
+        risk_gap: grid.unsupervised.risk_gap,
+        auc_per_distance: grid
+            .unsupervised
             .auc_per_distance
-            .into_iter()
-            .map(|(kind, auc)| (kind.name().to_string(), auc))
+            .iter()
+            .map(|&(kind, auc)| (kind.name().to_string(), auc))
             .collect(),
+        worst_risk_auc: grid.worst_case_auc,
+        auc_per_threat: grid.auc_per_threat(),
     }
 }
 
@@ -142,6 +177,18 @@ mod tests {
         assert!((0.0..=1.0).contains(&eval.risk_auc));
         assert!(eval.risk_gap >= 0.0);
         assert_eq!(eval.auc_per_distance.len(), 8);
+        assert_eq!(eval.auc_per_threat.len(), 4, "full threat grid");
+        assert!((0.0..=1.0).contains(&eval.worst_risk_auc));
+        let best_distance = eval
+            .auc_per_distance
+            .iter()
+            .map(|&(_, a)| a)
+            .fold(0.5, f64::max);
+        assert!(
+            eval.worst_risk_auc >= best_distance,
+            "worst case {} cannot be below the best unsupervised distance {best_distance}",
+            eval.worst_risk_auc
+        );
         assert!(
             eval.accuracy > 0.7,
             "vanilla GCN should classify the easy synthetic graph, got {}",
@@ -162,6 +209,8 @@ mod tests {
             risk_auc: 0.90,
             risk_gap: 0.5,
             auc_per_distance: vec![],
+            worst_risk_auc: 0.0,
+            auc_per_threat: vec![],
         };
         let ours = Evaluation {
             accuracy: 0.76,
@@ -169,6 +218,8 @@ mod tests {
             risk_auc: 0.88,
             risk_gap: 0.4,
             auc_per_distance: vec![],
+            worst_risk_auc: 0.0,
+            auc_per_threat: vec![],
         };
         let d = deltas(&reference, &ours);
         assert!((d.d_acc + 0.05).abs() < 1e-12);
@@ -192,6 +243,8 @@ mod tests {
             risk_auc: 0.0,
             risk_gap: 0.0,
             auc_per_distance: vec![],
+            worst_risk_auc: 0.0,
+            auc_per_threat: vec![],
         };
         let ours = reference.clone();
         let d = deltas(&reference, &ours);
@@ -207,10 +260,14 @@ mod tests {
             risk_auc: 0.91,
             risk_gap: 0.4,
             auc_per_distance: vec![("cosine".into(), 0.9)],
+            worst_risk_auc: 0.93,
+            auc_per_threat: vec![("posteriors+shadow".into(), 0.93)],
         };
         let json = serde_json::to_string(&eval).expect("serialise");
         let back: Evaluation = serde_json::from_str(&json).expect("deserialise");
         assert!((back.accuracy - eval.accuracy).abs() < 1e-12);
         assert_eq!(back.auc_per_distance.len(), 1);
+        assert!((back.worst_risk_auc - 0.93).abs() < 1e-12);
+        assert_eq!(back.auc_per_threat.len(), 1);
     }
 }

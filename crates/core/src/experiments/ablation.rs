@@ -3,14 +3,14 @@
 //! the smoke scale can use a smaller pair).
 
 use super::common::scaled_spec;
-use crate::{attack_evaluator, fairness_weights, heterophilic_perturbation, predictions};
+use crate::{fairness_weights, heterophilic_perturbation, predictions, threat_auditor};
 use crate::{ExperimentScale, Method, PpfrConfig, TrainedOutcome};
+use ppfr_attacks::ThreatAuditor;
 use ppfr_datasets::{cora, generate, two_block_synthetic, Dataset};
 use ppfr_fairness::bias;
 use ppfr_gnn::{train, GraphContext, ModelKind};
 use ppfr_graph::{jaccard_similarity, similarity_laplacian};
 use ppfr_nn::accuracy;
-use ppfr_privacy::AttackEvaluator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -28,6 +28,8 @@ pub struct AblationPoint {
     pub bias: f64,
     /// Link-stealing risk (mean attack AUC).
     pub risk_auc: f64,
+    /// Worst-case supervised threat-model attack AUC.
+    pub worst_risk_auc: f64,
 }
 
 /// One panel of Fig. 6.
@@ -60,16 +62,19 @@ impl Fig6Result {
     pub fn to_table_string(&self) -> String {
         let mut out = String::from("Fig. 6: PPFR ablation (accuracy / bias / risk)\n");
         out.push_str(&format!(
-            "vanilla reference: acc {:.4}  bias {:.4}  risk {:.4}\n",
-            self.vanilla.accuracy, self.vanilla.bias, self.vanilla.risk_auc
+            "vanilla reference: acc {:.4}  bias {:.4}  risk {:.4}  worst {:.4}\n",
+            self.vanilla.accuracy,
+            self.vanilla.bias,
+            self.vanilla.risk_auc,
+            self.vanilla.worst_risk_auc
         ));
         for curve in [&self.fr_only, &self.pp_sweep, &self.pp_fixed_fr_sweep] {
             out.push_str(&format!("\n[{}] (x = {})\n", curve.title, curve.x_label));
-            out.push_str("x        acc      bias     risk\n");
+            out.push_str("x        acc      bias     risk     worst\n");
             for p in &curve.points {
                 out.push_str(&format!(
-                    "{:<8.2} {:.4}  {:.4}  {:.4}\n",
-                    p.x, p.accuracy, p.bias, p.risk_auc
+                    "{:<8.2} {:.4}  {:.4}  {:.4}  {:.4}\n",
+                    p.x, p.accuracy, p.bias, p.risk_auc, p.worst_risk_auc
                 ));
             }
         }
@@ -87,16 +92,18 @@ struct AblationContext {
 
 fn evaluate_point(
     ab: &AblationContext,
-    evaluator: &mut AttackEvaluator,
+    auditor: &mut ThreatAuditor,
     outcome: &TrainedOutcome,
     x: f64,
 ) -> AblationPoint {
     let probs = predictions(outcome, &ab.cfg);
+    let grid = auditor.audit(&probs);
     AblationPoint {
         x,
         accuracy: accuracy(&probs, &ab.dataset.labels, &ab.dataset.splits.test),
         bias: bias(&probs, &outcome.similarity_laplacian),
-        risk_auc: evaluator.evaluate(&probs).average_auc,
+        risk_auc: grid.unsupervised.average_auc,
+        worst_risk_auc: grid.worst_case_auc,
     }
 }
 
@@ -169,11 +176,11 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
         loss_weights: fr.loss_weights,
         cfg: cfg.clone(),
     };
-    // One evaluator for the whole figure: every ablation point is attacked
-    // on the same cached pair sample.
-    let mut evaluator = attack_evaluator(&ab.dataset, &ab.cfg);
+    // One auditor for the whole figure: every ablation point is attacked
+    // on the same cached pair sample and shadow dataset.
+    let mut auditor = threat_auditor(&ab.dataset, &ab.cfg);
 
-    let vanilla_point = evaluate_point(&ab, &mut evaluator, &ab.vanilla, 0.0);
+    let vanilla_point = evaluate_point(&ab, &mut auditor, &ab.vanilla, 0.0);
     let max_epochs = cfg.finetune_epochs().max(4);
     let epoch_grid: Vec<usize> = (0..=4).map(|i| i * max_epochs / 4).collect();
     let gamma_grid = [0.0, 0.5, 1.0, 1.5, 2.0];
@@ -187,7 +194,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&e| {
                 let outcome = finetuned_outcome(&ab, 0.0, e);
-                evaluate_point(&ab, &mut evaluator, &outcome, e as f64)
+                evaluate_point(&ab, &mut auditor, &outcome, e as f64)
             })
             .collect(),
     };
@@ -198,7 +205,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&g| {
                 let outcome = finetuned_outcome(&ab, g, fixed_epochs);
-                evaluate_point(&ab, &mut evaluator, &outcome, g)
+                evaluate_point(&ab, &mut auditor, &outcome, g)
             })
             .collect(),
     };
@@ -209,7 +216,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&e| {
                 let outcome = finetuned_outcome(&ab, fixed_gamma, e);
-                evaluate_point(&ab, &mut evaluator, &outcome, e as f64)
+                evaluate_point(&ab, &mut auditor, &outcome, e as f64)
             })
             .collect(),
     };

@@ -3,9 +3,9 @@
 use crate::{
     evaluate_with, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome,
 };
+use ppfr_attacks::ThreatAuditor;
 use ppfr_datasets::{citeseer, cora, credit, enzymes, pubmed, Dataset, DatasetSpec};
 use ppfr_gnn::ModelKind;
-use ppfr_privacy::AttackEvaluator;
 use serde::{Deserialize, Serialize};
 
 /// Scales a dataset spec for the requested experiment scale: the smoke
@@ -51,18 +51,18 @@ pub struct MethodRun {
 }
 
 /// Runs one `(dataset, model, method)` cell and evaluates it against the
-/// dataset's shared [`AttackEvaluator`] (built once per dataset via
-/// [`crate::attack_evaluator`] so the pair sample and distance buffers are
-/// reused across the five methods).
+/// dataset's shared [`ThreatAuditor`] (built once per dataset via
+/// [`crate::threat_auditor`] so the pair sample, distance buffers and shadow
+/// dataset are reused across the five methods).
 pub fn run_and_evaluate(
     dataset: &Dataset,
     kind: ModelKind,
     method: Method,
     cfg: &PpfrConfig,
-    evaluator: &mut AttackEvaluator,
+    auditor: &mut ThreatAuditor,
 ) -> (TrainedOutcome, MethodRun) {
     let outcome = run_method(dataset, kind, method, cfg);
-    let evaluation = evaluate_with(&outcome, dataset, cfg, evaluator);
+    let evaluation = evaluate_with(&outcome, dataset, cfg, auditor);
     let run = MethodRun {
         dataset: dataset.name.to_string(),
         model: kind.name().to_string(),

@@ -72,16 +72,15 @@ pub fn fig4(scale: ExperimentScale) -> Fig4Result {
     let mut rows = Vec::new();
     for spec in high_homophily_specs(scale) {
         let dataset = generate(&spec, DATA_SEED);
-        let mut evaluator = crate::attack_evaluator(&dataset, &cfg);
+        let mut auditor = crate::threat_auditor(&dataset, &cfg);
         let (_, vanilla) = run_and_evaluate(
             &dataset,
             ModelKind::Gcn,
             Method::Vanilla,
             &cfg,
-            &mut evaluator,
+            &mut auditor,
         );
-        let (_, reg) =
-            run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut evaluator);
+        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut auditor);
         for ((name_v, auc_v), (name_r, auc_r)) in vanilla
             .evaluation
             .auc_per_distance
@@ -191,6 +190,8 @@ mod tests {
             risk_auc: 0.9,
             risk_gap: 0.1,
             auc_per_distance: vec![],
+            worst_risk_auc: 0.0,
+            auc_per_threat: vec![],
         };
         let run = |model: &str, method: &str| MethodRun {
             dataset: "cora".into(),

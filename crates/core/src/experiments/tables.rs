@@ -2,7 +2,8 @@
 
 use super::common::{high_homophily_specs, pct, run_and_evaluate, weak_homophily_specs, MethodRun};
 use crate::{
-    attack_evaluator, attack_sample, deltas, predictions, ExperimentScale, Method, PpfrConfig,
+    attack_evaluator, attack_sample, deltas, predictions, threat_auditor, ExperimentScale, Method,
+    PpfrConfig,
 };
 use ppfr_datasets::generate;
 use ppfr_fairness::bias;
@@ -136,16 +137,15 @@ pub fn table3(scale: ExperimentScale) -> Table3Result {
     let mut rows = Vec::new();
     for spec in high_homophily_specs(scale) {
         let dataset = generate(&spec, DATA_SEED);
-        let mut evaluator = attack_evaluator(&dataset, &cfg);
+        let mut auditor = threat_auditor(&dataset, &cfg);
         let (_, vanilla) = run_and_evaluate(
             &dataset,
             ModelKind::Gcn,
             Method::Vanilla,
             &cfg,
-            &mut evaluator,
+            &mut auditor,
         );
-        let (_, reg) =
-            run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut evaluator);
+        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut auditor);
         rows.push(Table3Row {
             dataset: spec.name.to_string(),
             vanilla_acc: vanilla.evaluation.accuracy * 100.0,
@@ -195,19 +195,25 @@ pub struct Table4Result {
 pub type Table5Result = Table4Result;
 
 impl Table4Result {
-    /// Plain-text rendering matching the paper's layout.
+    /// Plain-text rendering matching the paper's layout, extended with the
+    /// absolute mean-distance AUC and the worst-case threat-model AUC so the
+    /// weakest- and strongest-adversary risk are visible side by side.
     pub fn to_table_string(&self) -> String {
-        let mut out = String::from("dataset    model      method   Δacc%    Δbias%   Δrisk%   Δ\n");
+        let mut out = String::from(
+            "dataset    model      method   Δacc%    Δbias%   Δrisk%   Δ       meanAUC  worstAUC\n",
+        );
         for row in &self.rows {
             out.push_str(&format!(
-                "{:<10} {:<10} {:<8} {:>8} {:>8} {:>8} {:+.3}\n",
+                "{:<10} {:<10} {:<8} {:>8} {:>8} {:>8} {:+.3}  {:.4}   {:.4}\n",
                 row.dataset,
                 row.model,
                 row.method,
                 pct(row.d_acc_pct / 100.0),
                 pct(row.d_bias_pct / 100.0),
                 pct(row.d_risk_pct / 100.0),
-                row.delta
+                row.delta,
+                row.evaluation.evaluation.risk_auc,
+                row.evaluation.evaluation.worst_risk_auc
             ));
         }
         out
@@ -227,14 +233,14 @@ fn method_matrix(
     let mut rows = Vec::new();
     for spec in specs {
         let dataset = generate(&spec, DATA_SEED);
-        // One evaluator per dataset: all models × methods are attacked on the
-        // same cached pairs, only their posteriors differ.
-        let mut evaluator = attack_evaluator(&dataset, cfg);
+        // One auditor per dataset: all models × methods are attacked on the
+        // same cached pairs (and shadow), only their posteriors differ.
+        let mut auditor = threat_auditor(&dataset, cfg);
         for &kind in models {
             let (_, vanilla_run) =
-                run_and_evaluate(&dataset, kind, Method::Vanilla, cfg, &mut evaluator);
+                run_and_evaluate(&dataset, kind, Method::Vanilla, cfg, &mut auditor);
             for method in Method::COMPARED {
-                let (_, run) = run_and_evaluate(&dataset, kind, method, cfg, &mut evaluator);
+                let (_, run) = run_and_evaluate(&dataset, kind, method, cfg, &mut auditor);
                 let d = deltas(&vanilla_run.evaluation, &run.evaluation);
                 rows.push(Table4Row {
                     dataset: spec.name.to_string(),
@@ -344,6 +350,8 @@ mod tests {
                 risk_auc: 0.9,
                 risk_gap: 0.1,
                 auc_per_distance: vec![],
+                worst_risk_auc: 0.0,
+                auc_per_threat: vec![],
             },
         };
         let row = |m: &str| Table4Row {

@@ -12,7 +12,9 @@
 //!   regularisation), `DpReg` (edge DP + regularisation), `DpFr` (edge DP +
 //!   fairness re-weighting);
 //! * the **evaluation harness** ([`evaluate()`]) producing accuracy, InFoRM
-//!   bias, link-stealing AUC and the combined Δ metric of Eq. (22);
+//!   bias, link-stealing AUC (both the paper's mean-distance AUC and the
+//!   worst case over `ppfr_attacks`' supervised threat-model grid) and the
+//!   combined Δ metric of Eq. (22);
 //! * the **experiment drivers** ([`experiments`]) that regenerate every table
 //!   and figure of the paper.
 //!
@@ -40,9 +42,10 @@ pub mod reweight;
 
 pub use config::{ExperimentScale, PpfrConfig};
 pub use evaluate::{
-    attack_evaluator, attack_sample, deltas, evaluate, evaluate_with, predictions, Evaluation,
-    MethodDeltas,
+    attack_evaluator, attack_sample, deltas, evaluate, evaluate_with, predictions, threat_auditor,
+    Evaluation, MethodDeltas,
 };
 pub use perturb::heterophilic_perturbation;
 pub use pipeline::{run_method, Method, TrainedOutcome};
+pub use ppfr_attacks::{ThreatAuditor, ThreatGridReport, ThreatModel, ThreatOutcome};
 pub use reweight::fairness_weights;

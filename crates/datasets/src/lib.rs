@@ -11,10 +11,12 @@
 //! substitution argument.
 
 mod sbm;
+mod shadow;
 mod specs;
 mod splits;
 
-pub use sbm::{generate, sparse_sbm, Dataset};
+pub use sbm::{class_features, generate, sparse_sbm, Dataset};
+pub use shadow::{shadow_of, sparse_sbm_dataset};
 pub use specs::{citeseer, cora, credit, enzymes, pubmed, two_block_synthetic, DatasetSpec};
 pub use splits::Splits;
 

@@ -95,24 +95,14 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Dataset {
     let graph = Graph::from_edges(n, &edges);
 
     // --- features ------------------------------------------------------------
-    let d = spec.feat_dim;
-    let block = (d / c).max(1);
-    let mut features = Matrix::zeros(n, d);
-    for i in 0..n {
-        let class = labels[i];
-        let start = class * block;
-        let end = ((class + 1) * block).min(d);
-        for f in 0..d {
-            let p_fire = if f >= start && f < end {
-                spec.feature_signal
-            } else {
-                spec.feature_noise
-            };
-            if rng.gen_bool(p_fire) {
-                features[(i, f)] = 1.0;
-            }
-        }
-    }
+    let features = class_features(
+        &labels,
+        c,
+        spec.feat_dim,
+        spec.feature_signal,
+        spec.feature_noise,
+        &mut rng,
+    );
 
     // --- splits --------------------------------------------------------------
     let splits = Splits::planetoid(
@@ -132,6 +122,35 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Dataset {
         splits,
         n_classes: c,
     }
+}
+
+/// Class-conditional sparse binary features: each class "owns" a contiguous
+/// block of feature bits that fire with probability `signal`, background bits
+/// fire with `noise`.  Shared by [`generate`] and the shadow-dataset
+/// generators in [`crate::shadow`].
+pub fn class_features<R: Rng + ?Sized>(
+    labels: &[usize],
+    n_classes: usize,
+    feat_dim: usize,
+    signal: f64,
+    noise: f64,
+    rng: &mut R,
+) -> Matrix {
+    let n = labels.len();
+    let block = (feat_dim / n_classes).max(1);
+    let mut features = Matrix::zeros(n, feat_dim);
+    for i in 0..n {
+        let class = labels[i];
+        let start = class * block;
+        let end = ((class + 1) * block).min(feat_dim);
+        for f in 0..feat_dim {
+            let p_fire = if f >= start && f < end { signal } else { noise };
+            if rng.gen_bool(p_fire) {
+                features[(i, f)] = 1.0;
+            }
+        }
+    }
+    features
 }
 
 /// Sparse SBM graph sampled in `O(n · d̄)` expected time, for large-graph

@@ -1,0 +1,157 @@
+//! Shadow-dataset generation for supervised link-stealing attacks.
+//!
+//! A shadow adversary (LSA-style, He et al. / Surma et al.) does not know the
+//! target's confidential edges, but does know *public* coarse statistics:
+//! roughly how large the graph is, how many classes it has, how dense it is
+//! and how homophilous — enough to sample a look-alike graph, train an attack
+//! model on it where ground-truth edges are known, and transfer the attack to
+//! the target.  This module builds such look-alikes on top of the `O(n · d̄)`
+//! [`sparse_sbm`] generator so shadow construction stays affordable even for
+//! the 20k-node scaling scenarios.
+
+use crate::sbm::class_features;
+use crate::{sparse_sbm, Dataset, Splits};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Feature-bit fire rate the shadow attacker assumes for class-owned bits.
+const SHADOW_FEATURE_SIGNAL: f64 = 0.2;
+/// Background feature-bit fire rate the shadow attacker assumes.
+const SHADOW_FEATURE_NOISE: f64 = 0.02;
+
+/// Builds a full [`Dataset`] (graph + class-conditional binary features +
+/// Planetoid split) around the sparse SBM generator.  Unlike
+/// [`crate::generate`], which sweeps all `O(n²)` node pairs, this runs in
+/// `O(n · d̄)` and therefore scales to tens of thousands of nodes — it backs
+/// both the shadow datasets of the supervised attacks and the large-graph
+/// scenarios.  Fully deterministic in `seed`.
+pub fn sparse_sbm_dataset(
+    n_nodes: usize,
+    n_classes: usize,
+    intra_degree: f64,
+    inter_degree: f64,
+    feat_dim: usize,
+    seed: u64,
+) -> Dataset {
+    let (graph, labels) = sparse_sbm(n_nodes, n_classes, intra_degree, inter_degree, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x8d5c_31f2_a9b0_6e47);
+    let features = class_features(
+        &labels,
+        n_classes,
+        feat_dim,
+        SHADOW_FEATURE_SIGNAL,
+        SHADOW_FEATURE_NOISE,
+        &mut rng,
+    );
+    // The split is incidental for attack training (the attacker supervises on
+    // edges, not labels) but keeps the type a fully usable Dataset.
+    let train_per_class = (n_nodes / (4 * n_classes)).clamp(2, 20);
+    let n_val = (n_nodes / 10).clamp(4, 200);
+    let n_test = (n_nodes / 5).clamp(4, 400);
+    let splits = Splits::planetoid(&labels, n_classes, train_per_class, n_val, n_test, &mut rng);
+    Dataset {
+        name: "shadow-sbm",
+        graph,
+        features,
+        labels,
+        splits,
+        n_classes,
+    }
+}
+
+/// Samples a shadow analogue of `target`, mirroring only the statistics a
+/// realistic adversary can know: node count, class count, feature
+/// dimensionality, and the intra-/inter-class expected degrees measured from
+/// the target's (public) coarse structure.  The shadow shares **no** edges or
+/// nodes with the target — it is a fresh SBM draw with look-alike moments.
+pub fn shadow_of(target: &Dataset, seed: u64) -> Dataset {
+    let n = target.n_nodes().max(2);
+    let c = target.n_classes.max(1);
+    let mut intra_edges = 0usize;
+    for (u, v) in target.graph.edges() {
+        if target.labels[u] == target.labels[v] {
+            intra_edges += 1;
+        }
+    }
+    let inter_edges = target.graph.n_edges() - intra_edges;
+    let intra_degree = 2.0 * intra_edges as f64 / n as f64;
+    let inter_degree = 2.0 * inter_edges as f64 / n as f64;
+    sparse_sbm_dataset(
+        n,
+        c,
+        intra_degree,
+        inter_degree,
+        target.features.cols().max(1),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::cora;
+    use crate::Dataset;
+    use ppfr_graph::{homophily, intra_inter_probabilities};
+
+    #[test]
+    fn sparse_sbm_dataset_is_complete_and_deterministic() {
+        let a = sparse_sbm_dataset(800, 4, 6.0, 2.0, 64, 3);
+        let b = sparse_sbm_dataset(800, 4, 6.0, 2.0, 64, 3);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.features.as_slice(), b.features.as_slice());
+        assert_eq!(a.features.shape(), (800, 64));
+        a.splits.assert_valid(800);
+        assert!(a.features.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn shadow_mirrors_the_target_moments_without_sharing_edges() {
+        let target = crate::generate(&cora(), 7);
+        let shadow = shadow_of(&target, 11);
+        assert_eq!(shadow.n_nodes(), target.n_nodes());
+        assert_eq!(shadow.n_classes, target.n_classes);
+        assert_eq!(shadow.features.cols(), target.features.cols());
+        // Degree within a factor of ~1.5 (duplicate draws collapse).
+        let d_target = 2.0 * target.graph.n_edges() as f64 / target.n_nodes() as f64;
+        let d_shadow = 2.0 * shadow.graph.n_edges() as f64 / shadow.n_nodes() as f64;
+        assert!(
+            (d_shadow / d_target - 1.0).abs() < 0.5,
+            "shadow degree {d_shadow} far from target {d_target}"
+        );
+        // Homophily direction preserved: intra dominates inter in both.
+        let h = homophily(&shadow.graph, &shadow.labels);
+        assert!(h > 0.5, "shadow lost the target's homophily: {h}");
+        let (p, q) = intra_inter_probabilities(&shadow.graph, &shadow.labels);
+        assert!(p > q);
+        // A fresh draw, not a copy: edge sets differ.
+        let shared = target
+            .graph
+            .edges()
+            .filter(|&(u, v)| shadow.graph.has_edge(u, v))
+            .count();
+        assert!(
+            shared < target.graph.n_edges() / 2,
+            "shadow copied the target's edges"
+        );
+    }
+
+    #[test]
+    fn shadow_of_survives_degenerate_targets() {
+        let target = Dataset {
+            name: "tiny",
+            graph: ppfr_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]),
+            features: ppfr_linalg::Matrix::zeros(4, 3),
+            labels: vec![0, 0, 1, 1],
+            splits: Splits {
+                train: vec![0],
+                val: vec![1],
+                test: vec![2],
+            },
+            n_classes: 2,
+        };
+        let shadow = shadow_of(&target, 1);
+        assert_eq!(shadow.n_nodes(), 4);
+        assert_eq!(shadow.n_classes, 2);
+    }
+}

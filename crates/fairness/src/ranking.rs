@@ -39,7 +39,7 @@ pub fn ranking_fairness_ndcg(probs: &Matrix, similarity: &SparseMatrix, k: usize
         }
         // Ideal DCG: neighbours sorted by true similarity.
         let mut by_sim = neighbors.clone();
-        by_sim.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        by_sim.sort_by(|a, b| b.1.total_cmp(&a.1));
         let idcg: f64 = by_sim
             .iter()
             .take(k)
@@ -51,11 +51,17 @@ pub fn ranking_fairness_ndcg(probs: &Matrix, similarity: &SparseMatrix, k: usize
         }
         // DCG of the prediction-induced ranking.
         let mut by_pred = neighbors.clone();
-        by_pred.sort_by(|a, b| {
-            prediction_similarity(probs, i, b.0)
-                .partial_cmp(&prediction_similarity(probs, i, a.0))
-                .unwrap()
-        });
+        // NaN-safe: a NaN prediction similarity is canonicalised to -inf so
+        // the pair ranks last instead of panicking mid-experiment.
+        let pred = |j: usize| {
+            let s = prediction_similarity(probs, i, j);
+            if s.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                s
+            }
+        };
+        by_pred.sort_by(|a, b| pred(b.0).total_cmp(&pred(a.0)));
         let dcg: f64 = by_pred
             .iter()
             .take(k)

@@ -92,7 +92,11 @@ pub fn lap_graph<R: Rng + ?Sized>(graph: &Graph, epsilon: f64, rng: &mut R) -> G
         candidates.push((u.min(v), u.max(v), laplace(1.0 / eps_cells, rng)));
         added += 1;
     }
-    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    // NaN-safe descending sort: NaN scores are canonicalised to -inf so a
+    // bad cell deterministically sinks to the tail (never into the released
+    // top-k) instead of panicking.
+    let rank = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    candidates.sort_by(|a, b| rank(b.2).total_cmp(&rank(a.2)));
     let edges: Vec<(usize, usize)> = candidates
         .into_iter()
         .take(noisy_count)

@@ -1,40 +1,48 @@
-//! Privacy audit: run the black-box link-stealing attack against a trained
+//! Privacy audit: run the black-box link-stealing attacks against a trained
 //! GNN, with and without edge differential-privacy defences.
 //!
-//! Shows the full attack surface the paper reasons about: the eight distance
-//! metrics, the AUC and the unsupervised clustering variant, and how
-//! EdgeRand / LapGraph trade accuracy for privacy.
+//! Shows the full attack surface the paper reasons about — the eight distance
+//! metrics, the AUC and the unsupervised clustering variant — plus the
+//! supervised threat-model grid of `ppfr_attacks`: shadow-dataset and
+//! partial-knowledge adversaries with and without node features, reported
+//! next to the unsupervised baseline as a worst-case risk AUC.
 //!
-//! Run with: `cargo run --release -p ppfr-core --example link_stealing_audit`
+//! Run with: `cargo run --release -p ppfr --example link_stealing_audit`
 
-use ppfr_core::{attack_evaluator, predictions, run_method, Method, PpfrConfig};
+use ppfr_core::{predictions, run_method, threat_auditor, Method, PpfrConfig, ThreatAuditor};
 use ppfr_datasets::{citeseer, generate, Dataset};
 use ppfr_gnn::{train, AnyModel, FairnessReg, GnnModel, GraphContext, ModelKind, TrainConfig};
 use ppfr_graph::{jaccard_similarity, similarity_laplacian};
 use ppfr_linalg::row_softmax;
 use ppfr_nn::accuracy;
-use ppfr_privacy::{cluster_attack, edge_rand, lap_graph, AttackEvaluator, DistanceKind};
+use ppfr_privacy::{cluster_attack, edge_rand, lap_graph, DistanceKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn audit(
-    label: &str,
-    probs: &ppfr_linalg::Matrix,
-    dataset: &Dataset,
-    evaluator: &mut AttackEvaluator,
-) {
+fn audit(label: &str, probs: &ppfr_linalg::Matrix, dataset: &Dataset, auditor: &mut ThreatAuditor) {
     println!("\n== {label} ==");
     println!(
         "  test accuracy: {:.2}%",
         accuracy(probs, &dataset.labels, &dataset.splits.test) * 100.0
     );
-    // Every victim is attacked on the same cached pair sample; only the
-    // posteriors change between audits.
-    let report = evaluator.evaluate(probs);
-    for (kind, auc) in report.auc_per_distance {
+    // Every victim is attacked on the same cached pair sample (and the same
+    // shadow dataset); only the posteriors change between audits.
+    let grid = auditor.audit(probs);
+    for &(kind, auc) in &grid.unsupervised.auc_per_distance {
         println!("  attack AUC [{:<12}] = {:.4}", kind.name(), auc);
     }
-    let cluster = cluster_attack(probs, evaluator.sample(), DistanceKind::Euclidean);
+    println!("  -- supervised threat models --");
+    for o in &grid.outcomes {
+        println!(
+            "  attack AUC [{:<26}] = {:.4}  (scorer {}, {} train pairs)",
+            o.name, o.auc, o.scorer, o.n_train
+        );
+    }
+    println!(
+        "  mean-distance AUC {:.4}  |  worst-case AUC {:.4}",
+        grid.unsupervised.average_auc, grid.worst_case_auc
+    );
+    let cluster = cluster_attack(probs, auditor.sample(), DistanceKind::Euclidean);
     println!(
         "  2-means clustering attack: accuracy {:.3}, precision {:.3}, recall {:.3}, F1 {:.3}",
         cluster.accuracy, cluster.precision, cluster.recall, cluster.f1
@@ -51,7 +59,7 @@ fn main() {
         dataset.graph.n_edges()
     );
 
-    let mut evaluator = attack_evaluator(&dataset, &cfg);
+    let mut auditor = threat_auditor(&dataset, &cfg);
 
     // Victim 1: vanilla GCN on the original graph.
     let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
@@ -59,7 +67,7 @@ fn main() {
         "vanilla GCN (no defence)",
         &predictions(&vanilla, &cfg),
         &dataset,
-        &mut evaluator,
+        &mut auditor,
     );
 
     // Victim 2: fairness-regularised GCN — the attack gets stronger.
@@ -68,7 +76,7 @@ fn main() {
         "fairness-regularised GCN (Reg)",
         &predictions(&reg, &cfg),
         &dataset,
-        &mut evaluator,
+        &mut auditor,
     );
 
     // Defences: retrain on an edge-DP graph and audit again.
@@ -114,7 +122,7 @@ fn main() {
             &format!("GCN + fairness Reg + {name}"),
             &probs,
             &dataset,
-            &mut evaluator,
+            &mut auditor,
         );
     }
 }
