@@ -97,6 +97,16 @@ impl ThreatModelRegistry {
     pub fn iter(&self) -> impl Iterator<Item = &(ThreatModel, AttackTrainConfig)> {
         self.entries.iter()
     }
+
+    /// Keeps only the settings whose threat model satisfies `keep` — the
+    /// scenario runner uses this to audit against a named subset of the
+    /// grid.  (Reaching the registry through
+    /// [`ThreatAuditor::registry_mut`](crate::ThreatAuditor::registry_mut)
+    /// invalidates the auditor's position-indexed shadow-attack cache, so
+    /// subsetting is safe at any time.)
+    pub fn retain(&mut self, mut keep: impl FnMut(&ThreatModel) -> bool) {
+        self.entries.retain(|(model, _)| keep(model));
+    }
 }
 
 /// Outcome of one threat model's supervised attack against one posterior

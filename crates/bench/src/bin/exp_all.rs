@@ -1,39 +1,39 @@
 //! Runs every table and figure experiment in one go (used to produce
-//! EXPERIMENTS.md).  Table IV is computed once and reused for Figs. 5 and 7.
+//! EXPERIMENTS.md), multi-seed: the high-homophily scenario is executed once
+//! through the runner and every table/figure view is derived from that one
+//! report, with the artifact cache shared across the derived scenarios.
+use ppfr_runner::{
+    accuracy_view, fig4_view, fig6_multi, run_scenario, table3_view, ArtifactCache,
+    ScenarioRegistry, DEFAULT_SEEDS,
+};
+
 fn main() {
     let scale = ppfr_bench::scale_from_args();
-    println!("# PPFR full experiment run (scale: {scale:?})\n");
+    println!("# PPFR full experiment run (scale: {scale:?}, seeds {DEFAULT_SEEDS:?})\n");
 
+    // Table II stays single-seed: it reports an influence-vector correlation,
+    // not a defence metric.
     let t2 = ppfr_core::experiments::table2(scale);
     println!("{}", t2.to_table_string());
 
-    let t3 = ppfr_core::experiments::table3(scale);
-    println!("{}", t3.to_table_string());
+    // One runner execution of the full high-homophily matrix feeds Tables
+    // III & IV and Figs. 4, 5 and 7.
+    let cache = ArtifactCache::new();
+    let high = ScenarioRegistry::get("tables-high-homophily", scale).expect("stock scenario");
+    let high_report = run_scenario(&high, &cache);
 
-    let f4 = ppfr_core::experiments::fig4(scale);
-    println!("{}", f4.to_table_string());
-    println!(
-        "risk increased in {}/{} dataset-distance pairs\n",
-        f4.count_risk_increases(),
-        f4.rows.len()
-    );
-
-    let t4 = ppfr_core::experiments::table4(scale);
+    println!("{}", table3_view(&high_report));
+    println!("{}", fig4_view(&high_report));
     println!("Table IV: effectiveness of the methods (high-homophily datasets)");
-    println!("{}", t4.to_table_string());
-    println!(
-        "{}",
-        ppfr_core::experiments::fig5_from(&t4).to_table_string()
-    );
-    println!(
-        "{}",
-        ppfr_core::experiments::fig7_from(&t4).to_table_string()
-    );
+    println!("{}", high_report.to_table_string());
+    println!("{}", accuracy_view(&high_report, &["GCN", "GAT"], "Fig. 5"));
+    println!("{}", accuracy_view(&high_report, &["GraphSage"], "Fig. 7"));
 
-    let t5 = ppfr_core::experiments::table5(scale);
+    let weak = ScenarioRegistry::get("tables-weak-homophily", scale).expect("stock scenario");
+    let weak_report = run_scenario(&weak, &cache);
     println!("Table V: GCN on weak-homophily datasets");
-    println!("{}", t5.to_table_string());
+    println!("{}", weak_report.to_table_string());
 
-    let f6 = ppfr_core::experiments::fig6_ablation(scale);
+    let f6 = fig6_multi(scale, &DEFAULT_SEEDS);
     println!("{}", f6.to_table_string());
 }

@@ -61,20 +61,21 @@ pub struct AttackStageBench {
     pub ms: f64,
 }
 
-/// The full report written to `BENCH_kernels.json`.
+/// Scenario-runner timing: one full run matrix, cold vs artifact-cache-warm.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct BenchReport {
-    /// Worker threads the parallel variants ran with.
-    pub threads: usize,
-    /// Repetitions per measurement (best-of).
-    pub reps: usize,
-    /// Per-kernel results.
-    pub kernels: Vec<KernelBench>,
-    /// Old-vs-new algorithmic path comparisons.
-    pub paths: Vec<PathBench>,
-    /// Supervised attack-stage timings (feature extraction, classifier
-    /// training) from `ppfr_attacks`.
-    pub attacks: Vec<AttackStageBench>,
+pub struct RunnerBench {
+    /// Matrix shape label.
+    pub matrix: String,
+    /// Number of runs in the matrix.
+    pub runs: usize,
+    /// Wall time of the cold execution (fresh artifact cache), milliseconds.
+    pub cold_ms: f64,
+    /// Wall time of the warm re-run (same cache), milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms` — what the artifact cache buys.
+    pub speedup: f64,
+    /// Artifact bundles cached after the cold run.
+    pub cache_entries: usize,
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds.
@@ -279,14 +280,61 @@ fn main() {
         );
     }
 
-    let report = BenchReport {
-        threads,
-        reps,
-        kernels,
-        paths: vec![path],
-        attacks,
+    // Scenario runner: one full (2 datasets × 5 methods × N seeds) matrix,
+    // cold vs artifact-cache-warm, through the parallel executor.
+    let runner = {
+        use ppfr_runner::{run_scenario, ArtifactCache, ScenarioSpec};
+        let spec = match scale {
+            ExperimentScale::Full => ScenarioSpec::bench_small(),
+            ExperimentScale::Smoke => ScenarioSpec::bench_small().with_seeds(&[7, 11]),
+        };
+        let cache = ArtifactCache::new();
+        let t = Instant::now();
+        let cold_report = run_scenario(&spec, &cache);
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let warm_report = run_scenario(&spec, &cache);
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            cold_report.to_json(),
+            warm_report.to_json(),
+            "cache-warm runner matrix diverged from cold"
+        );
+        let b = RunnerBench {
+            matrix: format!(
+                "{} datasets x {} models x {} methods x {} seeds",
+                spec.datasets.len(),
+                spec.models.len(),
+                spec.methods.len(),
+                spec.seeds.len()
+            ),
+            runs: spec.n_runs(),
+            cold_ms,
+            warm_ms,
+            speedup: cold_ms / warm_ms,
+            cache_entries: cache.len(),
+        };
+        println!(
+            "{:<24} {:<18} cold  {:>9.1} ms   warm     {:>9.1} ms   speedup {:>5.2}x",
+            "runner_matrix", b.matrix, b.cold_ms, b.warm_ms, b.speedup
+        );
+        b
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
+
+    // Merge into any existing BENCH_kernels.json: only this binary's
+    // sections are replaced, sections owned by other binaries survive.
+    let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
+    let json = ppfr_bench::merge_bench_sections(
+        existing.as_deref(),
+        vec![
+            ("threads", threads.to_value()),
+            ("reps", reps.to_value()),
+            ("kernels", kernels.to_value()),
+            ("paths", vec![path].to_value()),
+            ("attacks", attacks.to_value()),
+            ("runner", runner.to_value()),
+        ],
+    );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("\nwrote BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json (merged)");
 }

@@ -1,12 +1,16 @@
-//! Regenerates Fig. 4: link-stealing attack AUC per distance metric, before
-//! and after adding the fairness regulariser (GCN).
+//! Regenerates Fig. 4 (multi-seed): link-stealing attack AUC per distance
+//! metric, before and after adding the fairness regulariser (GCN), each bar
+//! `mean ± std` over the seed axis.
+use ppfr_core::Method;
+use ppfr_gnn::ModelKind;
+use ppfr_runner::{fig4_view, run_scenario, ArtifactCache, ScenarioRegistry};
+
 fn main() {
     let scale = ppfr_bench::scale_from_args();
-    let result = ppfr_core::experiments::fig4(scale);
-    println!("{}", result.to_table_string());
-    println!(
-        "risk increased (AUC(Reg) >= AUC(vanilla)) in {}/{} dataset-distance pairs",
-        result.count_risk_increases(),
-        result.rows.len()
-    );
+    let spec = ScenarioRegistry::get("tables-high-homophily", scale)
+        .expect("stock scenario")
+        .with_models(&[ModelKind::Gcn])
+        .with_methods(&[Method::Vanilla, Method::Reg]);
+    let report = run_scenario(&spec, &ArtifactCache::new());
+    println!("{}", fig4_view(&report));
 }

@@ -1,7 +1,13 @@
-//! Regenerates Fig. 5: accuracy cost of the methods on GCN and GAT.
+//! Regenerates Fig. 5 (multi-seed): accuracy cost of the methods on GCN and
+//! GAT, each bar `mean ± std` over the seed axis.
+use ppfr_gnn::ModelKind;
+use ppfr_runner::{accuracy_view, run_scenario, ArtifactCache, ScenarioRegistry};
+
 fn main() {
     let scale = ppfr_bench::scale_from_args();
-    let table4 = ppfr_core::experiments::table4(scale);
-    let result = ppfr_core::experiments::fig5_from(&table4);
-    println!("{}", result.to_table_string());
+    let spec = ScenarioRegistry::get("tables-high-homophily", scale)
+        .expect("stock scenario")
+        .with_models(&[ModelKind::Gcn, ModelKind::Gat]);
+    let report = run_scenario(&spec, &ArtifactCache::new());
+    println!("{}", accuracy_view(&report, &["GCN", "GAT"], "Fig. 5"));
 }

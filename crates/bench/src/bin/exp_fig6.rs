@@ -1,7 +1,10 @@
-//! Regenerates Fig. 6: the PPFR ablation (FR-only sweep, PP ratio sweep with
-//! fixed FR, and FR epoch sweep with fixed PP).
+//! Regenerates Fig. 6 (multi-seed): the PPFR ablation (FR-only sweep, PP
+//! ratio sweep with fixed FR, and FR epoch sweep with fixed PP), every point
+//! aggregated `mean ± std` over the seed axis.
+use ppfr_runner::{fig6_multi, DEFAULT_SEEDS};
+
 fn main() {
     let scale = ppfr_bench::scale_from_args();
-    let result = ppfr_core::experiments::fig6_ablation(scale);
+    let result = fig6_multi(scale, &DEFAULT_SEEDS);
     println!("{}", result.to_table_string());
 }

@@ -1,0 +1,45 @@
+//! Executes one named scenario through the multi-seed runner and prints the
+//! aggregated `mean ± std` report (text + stable JSON).
+//!
+//! Usage:
+//! `cargo run --release -p ppfr_bench --bin exp_runner -- [--smoke] [--scenario NAME]`
+//!
+//! `NAME` defaults to `bench-small` (the 2 datasets × 5 methods × 3 seeds
+//! acceptance matrix); see `ScenarioRegistry::NAMES` for the stock list.
+use ppfr_runner::{run_scenario, ArtifactCache, ScenarioRegistry};
+
+fn main() {
+    let scale = ppfr_bench::scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map_or("bench-small", String::as_str);
+    let Some(spec) = ScenarioRegistry::get(name, scale) else {
+        eprintln!(
+            "unknown scenario '{name}'; available: {}",
+            ScenarioRegistry::NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    println!(
+        "scenario '{}': {} runs ({} datasets x {} models x {} methods x {} seeds)\n",
+        spec.name,
+        spec.n_runs(),
+        spec.datasets.len(),
+        spec.models.len(),
+        spec.methods.len(),
+        spec.seeds.len()
+    );
+    let cache = ArtifactCache::new();
+    let report = run_scenario(&spec, &cache);
+    println!("{}", report.to_table_string());
+    println!(
+        "artifact cache: {} bundles, {} hits / {} misses\n",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
+    println!("{}", report.to_json());
+}

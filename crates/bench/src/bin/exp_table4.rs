@@ -1,8 +1,12 @@
-//! Regenerates Table IV: Δbias / Δrisk / Δ of Reg, DPReg, DPFR and PPFR on the
-//! three high-homophily datasets and all three GNN architectures.
+//! Regenerates Table IV (multi-seed): Δbias / Δrisk / Δ of Reg, DPReg, DPFR
+//! and PPFR on the three high-homophily datasets and all three GNN
+//! architectures, every number `mean ± std` over the seed axis.
+use ppfr_runner::{run_scenario, ArtifactCache, ScenarioRegistry};
+
 fn main() {
     let scale = ppfr_bench::scale_from_args();
-    let result = ppfr_core::experiments::table4(scale);
+    let spec = ScenarioRegistry::get("tables-high-homophily", scale).expect("stock scenario");
+    let report = run_scenario(&spec, &ArtifactCache::new());
     println!("Table IV: effectiveness of the methods (high-homophily datasets)");
-    println!("{}", result.to_table_string());
+    println!("{}", report.to_table_string());
 }

@@ -1,8 +1,12 @@
-//! Regenerates Table V: the same method comparison on the weak-homophily
-//! datasets (Enzymes, Credit) with the GCN model, including Δacc.
+//! Regenerates Table V (multi-seed): the method comparison on the
+//! weak-homophily datasets (Enzymes, Credit) with the GCN model, every
+//! number `mean ± std` over the seed axis.
+use ppfr_runner::{run_scenario, ArtifactCache, ScenarioRegistry};
+
 fn main() {
     let scale = ppfr_bench::scale_from_args();
-    let result = ppfr_core::experiments::table5(scale);
+    let spec = ScenarioRegistry::get("tables-weak-homophily", scale).expect("stock scenario");
+    let report = run_scenario(&spec, &ArtifactCache::new());
     println!("Table V: GCN on weak-homophily datasets");
-    println!("{}", result.to_table_string());
+    println!("{}", report.to_table_string());
 }

@@ -2,11 +2,11 @@
 //! epochs (Cora, GAT in the paper; the dataset/model are parameters here so
 //! the smoke scale can use a smaller pair).
 
-use super::common::scaled_spec;
-use crate::{fairness_weights, heterophilic_perturbation, predictions, threat_auditor};
+use super::common::{scaled_spec, DatasetArtifacts};
+use crate::{fairness_weights, heterophilic_perturbation, predictions};
 use crate::{ExperimentScale, Method, PpfrConfig, TrainedOutcome};
 use ppfr_attacks::ThreatAuditor;
-use ppfr_datasets::{cora, generate, two_block_synthetic, Dataset};
+use ppfr_datasets::{cora, two_block_synthetic, Dataset};
 use ppfr_fairness::bias;
 use ppfr_gnn::{train, GraphContext, ModelKind};
 use ppfr_graph::{jaccard_similarity, similarity_laplacian};
@@ -145,14 +145,38 @@ fn finetuned_outcome(ab: &AblationContext, gamma: f64, finetune_epochs: usize) -
 /// * Smoke scale uses the small two-block synthetic graph + GCN so benches
 ///   finish in seconds.
 pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
+    fig6_ablation_seeded(scale, DATA_SEED)
+}
+
+/// [`fig6_ablation`] with an explicit run seed, so the multi-seed scenario
+/// runner can aggregate the ablation curves over repeated runs.  Like the
+/// runner's scenarios, the seed drives both dataset generation and the
+/// pipeline RNG streams, so repetitions differ in graph *and*
+/// initialisation.
+pub fn fig6_ablation_seeded(scale: ExperimentScale, data_seed: u64) -> Fig6Result {
     let (spec, kind) = match scale {
         ExperimentScale::Full => (scaled_spec(cora(), scale), ModelKind::Gat),
         ExperimentScale::Smoke => (two_block_synthetic(), ModelKind::Gcn),
     };
-    let cfg = scale.config();
-    let dataset = generate(&spec, DATA_SEED);
+    let cfg = PpfrConfig {
+        seed: data_seed,
+        ..scale.config()
+    };
+    // Shared artifacts: the generated dataset, the vanilla checkpoint and
+    // one auditor for the whole figure — every ablation point is attacked
+    // on the same cached pair sample and shadow dataset.
+    let mut artifacts = DatasetArtifacts::build(&spec, data_seed, &cfg);
+    let (vanilla_outcome, vanilla_run) = artifacts.vanilla(kind, &cfg);
+    let vanilla = vanilla_outcome.clone();
+    let vanilla_point = AblationPoint {
+        x: 0.0,
+        accuracy: vanilla_run.evaluation.accuracy,
+        bias: vanilla_run.evaluation.bias,
+        risk_auc: vanilla_run.evaluation.risk_auc,
+        worst_risk_auc: vanilla_run.evaluation.worst_risk_auc,
+    };
+    let dataset = artifacts.dataset.clone();
     let base_ctx = GraphContext::new(dataset.graph.clone(), dataset.features.clone());
-    let vanilla = crate::run_method(&dataset, kind, Method::Vanilla, &cfg);
 
     // Fairness-aware re-weighting computed once from the vanilla model.
     let s = jaccard_similarity(&dataset.graph);
@@ -176,11 +200,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
         loss_weights: fr.loss_weights,
         cfg: cfg.clone(),
     };
-    // One auditor for the whole figure: every ablation point is attacked
-    // on the same cached pair sample and shadow dataset.
-    let mut auditor = threat_auditor(&ab.dataset, &ab.cfg);
-
-    let vanilla_point = evaluate_point(&ab, &mut auditor, &ab.vanilla, 0.0);
+    let auditor = artifacts.auditor_mut();
     let max_epochs = cfg.finetune_epochs().max(4);
     let epoch_grid: Vec<usize> = (0..=4).map(|i| i * max_epochs / 4).collect();
     let gamma_grid = [0.0, 0.5, 1.0, 1.5, 2.0];
@@ -194,7 +214,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&e| {
                 let outcome = finetuned_outcome(&ab, 0.0, e);
-                evaluate_point(&ab, &mut auditor, &outcome, e as f64)
+                evaluate_point(&ab, auditor, &outcome, e as f64)
             })
             .collect(),
     };
@@ -205,7 +225,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&g| {
                 let outcome = finetuned_outcome(&ab, g, fixed_epochs);
-                evaluate_point(&ab, &mut auditor, &outcome, g)
+                evaluate_point(&ab, auditor, &outcome, g)
             })
             .collect(),
     };
@@ -216,7 +236,7 @@ pub fn fig6_ablation(scale: ExperimentScale) -> Fig6Result {
             .iter()
             .map(|&e| {
                 let outcome = finetuned_outcome(&ab, fixed_gamma, e);
-                evaluate_point(&ab, &mut auditor, &outcome, e as f64)
+                evaluate_point(&ab, auditor, &outcome, e as f64)
             })
             .collect(),
     };

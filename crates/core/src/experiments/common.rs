@@ -1,12 +1,23 @@
 //! Shared helpers for the experiment drivers.
+//!
+//! The heart of this module is [`DatasetArtifacts`]: one bundle per
+//! `(dataset spec, data seed, config)` holding everything the five methods
+//! share — the generated graph, the [`ThreatAuditor`] (pair sample, distance
+//! buffers, shadow bundle) and the trained vanilla checkpoints per
+//! architecture.  Every experiment driver (and the multi-seed scenario
+//! runner in `ppfr_runner`) funnels its per-cell work through
+//! [`DatasetArtifacts::cell`] instead of hand-rolling the
+//! dataset × model × method loop.
 
 use crate::{
-    evaluate_with, run_method, Evaluation, ExperimentScale, Method, PpfrConfig, TrainedOutcome,
+    deltas, evaluate_with, run_method, run_method_from_vanilla, threat_auditor, Evaluation,
+    ExperimentScale, Method, MethodDeltas, PpfrConfig, TrainedOutcome,
 };
 use ppfr_attacks::ThreatAuditor;
-use ppfr_datasets::{citeseer, cora, credit, enzymes, pubmed, Dataset, DatasetSpec};
+use ppfr_datasets::{citeseer, cora, credit, enzymes, generate, pubmed, Dataset, DatasetSpec};
 use ppfr_gnn::ModelKind;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Scales a dataset spec for the requested experiment scale: the smoke
 /// variant shrinks node counts and splits proportionally so every experiment
@@ -50,26 +61,134 @@ pub struct MethodRun {
     pub evaluation: Evaluation,
 }
 
-/// Runs one `(dataset, model, method)` cell and evaluates it against the
-/// dataset's shared [`ThreatAuditor`] (built once per dataset via
-/// [`crate::threat_auditor`] so the pair sample, distance buffers and shadow
-/// dataset are reused across the five methods).
-pub fn run_and_evaluate(
-    dataset: &Dataset,
-    kind: ModelKind,
-    method: Method,
+/// One evaluated `(dataset, model, method)` cell together with its vanilla
+/// reference for the same `(dataset, model)` — everything Tables III–V and
+/// Figs. 4–7 need per entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodCell {
+    /// The method's run.
+    pub run: MethodRun,
+    /// The vanilla reference run (same dataset, model and seed).
+    pub vanilla: MethodRun,
+}
+
+impl MethodCell {
+    /// The Δ metrics of Eq. (22) of this cell against its vanilla reference.
+    pub fn deltas(&self) -> MethodDeltas {
+        deltas(&self.vanilla.evaluation, &self.run.evaluation)
+    }
+}
+
+/// Shared per-`(dataset spec, data seed, config)` artifacts: the generated
+/// dataset, the threat auditor (pair sample + distance buffers + shadow
+/// bundle + lazily fitted shadow attacks) and the trained vanilla
+/// checkpoints per architecture.  Build once, then run as many
+/// `(model, method)` cells as needed — only the method-specific training is
+/// re-paid per cell.
+#[derive(Debug, Clone)]
+pub struct DatasetArtifacts {
+    /// The generated dataset every run in this group shares.
+    pub dataset: Dataset,
+    auditor: ThreatAuditor,
+    vanilla: HashMap<ModelKind, (TrainedOutcome, MethodRun)>,
+}
+
+impl DatasetArtifacts {
+    /// Generates the dataset and builds the shared threat auditor.
+    pub fn build(spec: &DatasetSpec, data_seed: u64, cfg: &PpfrConfig) -> Self {
+        let dataset = generate(spec, data_seed);
+        let auditor = threat_auditor(&dataset, cfg);
+        Self {
+            dataset,
+            auditor,
+            vanilla: HashMap::new(),
+        }
+    }
+
+    /// The shared threat auditor (e.g. to subset its registry before the
+    /// first audit).
+    pub fn auditor_mut(&mut self) -> &mut ThreatAuditor {
+        &mut self.auditor
+    }
+
+    /// Trained + audited vanilla checkpoints currently cached.
+    pub fn n_vanilla_checkpoints(&self) -> usize {
+        self.vanilla.len()
+    }
+
+    /// Trains and audits the vanilla checkpoint for `kind` unless it is
+    /// already cached.
+    fn ensure_vanilla(&mut self, kind: ModelKind, cfg: &PpfrConfig) {
+        if self.vanilla.contains_key(&kind) {
+            return;
+        }
+        let outcome = run_method(&self.dataset, kind, Method::Vanilla, cfg);
+        let evaluation = evaluate_with(&outcome, &self.dataset, cfg, &mut self.auditor);
+        let run = MethodRun {
+            dataset: self.dataset.name.to_string(),
+            model: kind.name().to_string(),
+            method: Method::Vanilla.name().to_string(),
+            evaluation,
+        };
+        self.vanilla.insert(kind, (outcome, run));
+    }
+
+    /// The trained vanilla checkpoint and its evaluated run for `kind`,
+    /// training and auditing it on first use.
+    pub fn vanilla(&mut self, kind: ModelKind, cfg: &PpfrConfig) -> (&TrainedOutcome, &MethodRun) {
+        self.ensure_vanilla(kind, cfg);
+        let (outcome, run) = self.vanilla.get(&kind).expect("just ensured");
+        (outcome, run)
+    }
+
+    /// Runs one `(model, method)` cell against the cached artifacts: the
+    /// vanilla checkpoint seeds the fine-tuning methods (see
+    /// [`run_method_from_vanilla`]) and the shared auditor scores every
+    /// method on the same pairs.
+    pub fn cell(&mut self, kind: ModelKind, method: Method, cfg: &PpfrConfig) -> MethodCell {
+        self.ensure_vanilla(kind, cfg);
+        let (vanilla_outcome, vanilla_run) = self.vanilla.get(&kind).expect("just ensured");
+        if method == Method::Vanilla {
+            return MethodCell {
+                run: vanilla_run.clone(),
+                vanilla: vanilla_run.clone(),
+            };
+        }
+        let outcome =
+            run_method_from_vanilla(&self.dataset, kind, method, cfg, Some(vanilla_outcome));
+        let evaluation = evaluate_with(&outcome, &self.dataset, cfg, &mut self.auditor);
+        MethodCell {
+            run: MethodRun {
+                dataset: self.dataset.name.to_string(),
+                model: kind.name().to_string(),
+                method: method.name().to_string(),
+                evaluation,
+            },
+            vanilla: vanilla_run.clone(),
+        }
+    }
+}
+
+/// The shared dataset × model × method loop behind Tables III–V and
+/// Figs. 4–7: one [`DatasetArtifacts`] per spec, every requested cell run
+/// against it, in `specs × models × methods` order.
+pub fn method_matrix_cells(
+    specs: &[DatasetSpec],
+    models: &[ModelKind],
+    methods: &[Method],
     cfg: &PpfrConfig,
-    auditor: &mut ThreatAuditor,
-) -> (TrainedOutcome, MethodRun) {
-    let outcome = run_method(dataset, kind, method, cfg);
-    let evaluation = evaluate_with(&outcome, dataset, cfg, auditor);
-    let run = MethodRun {
-        dataset: dataset.name.to_string(),
-        model: kind.name().to_string(),
-        method: method.name().to_string(),
-        evaluation,
-    };
-    (outcome, run)
+    data_seed: u64,
+) -> Vec<MethodCell> {
+    let mut cells = Vec::new();
+    for spec in specs {
+        let mut artifacts = DatasetArtifacts::build(spec, data_seed, cfg);
+        for &kind in models {
+            for &method in methods {
+                cells.push(artifacts.cell(kind, method, cfg));
+            }
+        }
+    }
+    cells
 }
 
 /// Formats a fractional change as the percentage string used in the paper's
@@ -112,5 +231,38 @@ mod tests {
     fn pct_formats_with_sign() {
         assert_eq!(pct(-0.3551), "-35.51");
         assert_eq!(pct(0.018), "+1.80");
+    }
+
+    #[test]
+    fn artifacts_cache_the_vanilla_checkpoint_across_cells() {
+        let spec = ppfr_datasets::two_block_synthetic();
+        let cfg = PpfrConfig {
+            vanilla_epochs: 20,
+            influence_cg_iters: 4,
+            ..PpfrConfig::smoke()
+        };
+        let mut artifacts = DatasetArtifacts::build(&spec, 7, &cfg);
+        assert_eq!(artifacts.n_vanilla_checkpoints(), 0);
+        let vanilla_cell = artifacts.cell(ModelKind::Gcn, Method::Vanilla, &cfg);
+        assert_eq!(artifacts.n_vanilla_checkpoints(), 1);
+        let reg_cell = artifacts.cell(ModelKind::Gcn, Method::Reg, &cfg);
+        // Still one checkpoint: Reg reused the cached vanilla reference.
+        assert_eq!(artifacts.n_vanilla_checkpoints(), 1);
+        assert_eq!(vanilla_cell.run.method, "Vanilla");
+        assert_eq!(reg_cell.run.method, "Reg");
+        // The vanilla reference is identical in both cells.
+        assert_eq!(
+            vanilla_cell.run.evaluation.accuracy,
+            reg_cell.vanilla.evaluation.accuracy
+        );
+        assert_eq!(
+            vanilla_cell.run.evaluation.risk_auc,
+            reg_cell.vanilla.evaluation.risk_auc
+        );
+        // A vanilla cell is its own reference, so its deltas vanish.
+        let d = vanilla_cell.deltas();
+        assert_eq!(d.d_acc, 0.0);
+        assert_eq!(d.d_bias, 0.0);
+        assert_eq!(d.d_risk, 0.0);
     }
 }

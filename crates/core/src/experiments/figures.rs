@@ -1,12 +1,11 @@
 //! Drivers for Fig. 4 (attack AUC per distance), Fig. 5 and Fig. 7 (accuracy
 //! cost per method).
 
-use super::common::run_and_evaluate;
+use super::common::method_matrix_cells;
 use super::high_homophily_specs;
 use super::tables::Table4Result;
 use crate::ExperimentScale;
 use crate::Method;
-use ppfr_datasets::generate;
 use ppfr_gnn::ModelKind;
 use serde::{Deserialize, Serialize};
 
@@ -69,27 +68,25 @@ impl Fig4Result {
 /// the fairness-regularised GCN on each high-homophily dataset.
 pub fn fig4(scale: ExperimentScale) -> Fig4Result {
     let cfg = scale.config();
+    let cells = method_matrix_cells(
+        &high_homophily_specs(scale),
+        &[ModelKind::Gcn],
+        &[Method::Reg],
+        &cfg,
+        DATA_SEED,
+    );
     let mut rows = Vec::new();
-    for spec in high_homophily_specs(scale) {
-        let dataset = generate(&spec, DATA_SEED);
-        let mut auditor = crate::threat_auditor(&dataset, &cfg);
-        let (_, vanilla) = run_and_evaluate(
-            &dataset,
-            ModelKind::Gcn,
-            Method::Vanilla,
-            &cfg,
-            &mut auditor,
-        );
-        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut auditor);
-        for ((name_v, auc_v), (name_r, auc_r)) in vanilla
+    for cell in &cells {
+        for ((name_v, auc_v), (name_r, auc_r)) in cell
+            .vanilla
             .evaluation
             .auc_per_distance
             .iter()
-            .zip(reg.evaluation.auc_per_distance.iter())
+            .zip(cell.run.evaluation.auc_per_distance.iter())
         {
             debug_assert_eq!(name_v, name_r);
             rows.push(Fig4Row {
-                dataset: spec.name.to_string(),
+                dataset: cell.run.dataset.clone(),
                 distance: name_v.clone(),
                 auc_vanilla: *auc_v,
                 auc_reg: *auc_r,

@@ -12,8 +12,11 @@ mod common;
 mod figures;
 mod tables;
 
-pub use ablation::{fig6_ablation, AblationCurve, AblationPoint, Fig6Result};
-pub use common::{high_homophily_specs, scaled_spec, weak_homophily_specs, MethodRun};
+pub use ablation::{fig6_ablation, fig6_ablation_seeded, AblationCurve, AblationPoint, Fig6Result};
+pub use common::{
+    high_homophily_specs, method_matrix_cells, scaled_spec, weak_homophily_specs, DatasetArtifacts,
+    MethodCell, MethodRun,
+};
 pub use figures::{fig4, fig5_from, fig7_from, Fig4Result, Fig4Row, FigAccResult, FigAccRow};
 pub use tables::{
     table2, table3, table4, table5, vanilla_vs_reg_bias_risk, Table2Result, Table2Row,

@@ -1,10 +1,9 @@
 //! Drivers for Tables II, III, IV and V.
 
-use super::common::{high_homophily_specs, pct, run_and_evaluate, weak_homophily_specs, MethodRun};
-use crate::{
-    attack_evaluator, attack_sample, deltas, predictions, threat_auditor, ExperimentScale, Method,
-    PpfrConfig,
+use super::common::{
+    high_homophily_specs, method_matrix_cells, pct, weak_homophily_specs, MethodRun,
 };
+use crate::{attack_evaluator, attack_sample, predictions, ExperimentScale, Method, PpfrConfig};
 use ppfr_datasets::generate;
 use ppfr_fairness::bias;
 use ppfr_gnn::ModelKind;
@@ -134,26 +133,23 @@ impl Table3Result {
 /// Regenerates Table III.
 pub fn table3(scale: ExperimentScale) -> Table3Result {
     let cfg = scale.config();
-    let mut rows = Vec::new();
-    for spec in high_homophily_specs(scale) {
-        let dataset = generate(&spec, DATA_SEED);
-        let mut auditor = threat_auditor(&dataset, &cfg);
-        let (_, vanilla) = run_and_evaluate(
-            &dataset,
-            ModelKind::Gcn,
-            Method::Vanilla,
-            &cfg,
-            &mut auditor,
-        );
-        let (_, reg) = run_and_evaluate(&dataset, ModelKind::Gcn, Method::Reg, &cfg, &mut auditor);
-        rows.push(Table3Row {
-            dataset: spec.name.to_string(),
-            vanilla_acc: vanilla.evaluation.accuracy * 100.0,
-            vanilla_bias: vanilla.evaluation.bias,
-            reg_acc: reg.evaluation.accuracy * 100.0,
-            reg_bias: reg.evaluation.bias,
-        });
-    }
+    let cells = method_matrix_cells(
+        &high_homophily_specs(scale),
+        &[ModelKind::Gcn],
+        &[Method::Reg],
+        &cfg,
+        DATA_SEED,
+    );
+    let rows = cells
+        .iter()
+        .map(|cell| Table3Row {
+            dataset: cell.run.dataset.clone(),
+            vanilla_acc: cell.vanilla.evaluation.accuracy * 100.0,
+            vanilla_bias: cell.vanilla.evaluation.bias,
+            reg_acc: cell.run.evaluation.accuracy * 100.0,
+            reg_bias: cell.run.evaluation.bias,
+        })
+        .collect();
     Table3Result { rows }
 }
 
@@ -230,32 +226,24 @@ fn method_matrix(
     models: &[ModelKind],
     cfg: &PpfrConfig,
 ) -> Table4Result {
-    let mut rows = Vec::new();
-    for spec in specs {
-        let dataset = generate(&spec, DATA_SEED);
-        // One auditor per dataset: all models × methods are attacked on the
-        // same cached pairs (and shadow), only their posteriors differ.
-        let mut auditor = threat_auditor(&dataset, cfg);
-        for &kind in models {
-            let (_, vanilla_run) =
-                run_and_evaluate(&dataset, kind, Method::Vanilla, cfg, &mut auditor);
-            for method in Method::COMPARED {
-                let (_, run) = run_and_evaluate(&dataset, kind, method, cfg, &mut auditor);
-                let d = deltas(&vanilla_run.evaluation, &run.evaluation);
-                rows.push(Table4Row {
-                    dataset: spec.name.to_string(),
-                    model: kind.name().to_string(),
-                    method: method.name().to_string(),
-                    d_acc_pct: d.d_acc * 100.0,
-                    d_bias_pct: d.d_bias * 100.0,
-                    d_risk_pct: d.d_risk * 100.0,
-                    delta: d.delta,
-                    evaluation: run,
-                    vanilla: vanilla_run.clone(),
-                });
+    let cells = method_matrix_cells(&specs, models, &Method::COMPARED, cfg, DATA_SEED);
+    let rows = cells
+        .into_iter()
+        .map(|cell| {
+            let d = cell.deltas();
+            Table4Row {
+                dataset: cell.run.dataset.clone(),
+                model: cell.run.model.clone(),
+                method: cell.run.method.clone(),
+                d_acc_pct: d.d_acc * 100.0,
+                d_bias_pct: d.d_bias * 100.0,
+                d_risk_pct: d.d_risk * 100.0,
+                delta: d.delta,
+                evaluation: cell.run,
+                vanilla: cell.vanilla,
             }
-        }
-    }
+        })
+        .collect();
     Table4Result { rows }
 }
 

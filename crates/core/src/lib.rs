@@ -46,6 +46,6 @@ pub use evaluate::{
     Evaluation, MethodDeltas,
 };
 pub use perturb::heterophilic_perturbation;
-pub use pipeline::{run_method, Method, TrainedOutcome};
+pub use pipeline::{run_method, run_method_from_vanilla, Method, TrainedOutcome};
 pub use ppfr_attacks::{ThreatAuditor, ThreatGridReport, ThreatModel, ThreatOutcome};
 pub use reweight::fairness_weights;

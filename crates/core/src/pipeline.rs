@@ -32,6 +32,16 @@ impl Method {
     /// The four non-reference methods, in the order of Table IV.
     pub const COMPARED: [Method; 4] = [Method::Reg, Method::DpReg, Method::DpFr, Method::Ppfr];
 
+    /// All five strategies: the vanilla reference followed by the compared
+    /// methods, in the order the scenario runner reports them.
+    pub const ALL: [Method; 5] = [
+        Method::Vanilla,
+        Method::Reg,
+        Method::DpReg,
+        Method::DpFr,
+        Method::Ppfr,
+    ];
+
     /// Human-readable name used in experiment output.
     pub fn name(self) -> &'static str {
         match self {
@@ -105,9 +115,45 @@ pub fn run_method(
     method: Method,
     cfg: &PpfrConfig,
 ) -> TrainedOutcome {
+    run_method_from_vanilla(dataset, kind, method, cfg, None)
+}
+
+/// [`run_method`] with an optional pre-trained vanilla checkpoint.
+///
+/// The strategies that begin with plain vanilla training (`Vanilla`, `DPFR`,
+/// `PPFR`) reuse the checkpoint's model instead of re-running the vanilla
+/// phase, and every strategy reuses its similarity Laplacian.  Vanilla
+/// training is deterministic in `(dataset, kind, cfg)` and each later phase
+/// draws from its own freshly seeded RNG stream, so the result is
+/// bit-identical to [`run_method`] — the scenario runner's artifact cache
+/// relies on this to stop the five methods from re-paying setup.
+///
+/// # Panics
+/// Panics when the checkpoint is not a `Vanilla` outcome of the same
+/// architecture.
+pub fn run_method_from_vanilla(
+    dataset: &Dataset,
+    kind: ModelKind,
+    method: Method,
+    cfg: &PpfrConfig,
+    vanilla: Option<&TrainedOutcome>,
+) -> TrainedOutcome {
+    if let Some(checkpoint) = vanilla {
+        assert_eq!(
+            checkpoint.method,
+            Method::Vanilla,
+            "checkpoint must be a Vanilla outcome"
+        );
+        assert_eq!(
+            checkpoint.model_kind, kind,
+            "checkpoint architecture mismatch"
+        );
+    }
     let base_ctx = GraphContext::new(dataset.graph.clone(), dataset.features.clone());
-    let similarity = jaccard_similarity(&dataset.graph);
-    let l_s = similarity_laplacian(&similarity);
+    let l_s = match vanilla {
+        Some(checkpoint) => checkpoint.similarity_laplacian.clone(),
+        None => similarity_laplacian(&jaccard_similarity(&dataset.graph)),
+    };
     let labels = &dataset.labels;
     let train_ids = &dataset.splits.train;
     let uniform = vec![1.0; train_ids.len()];
@@ -116,10 +162,12 @@ pub fn run_method(
         lambda: cfg.fairness_lambda,
     };
 
-    let mut model = build_model(kind, &base_ctx, dataset, cfg);
-
-    let (deploy_ctx, fairness_loss_weights) = match method {
-        Method::Vanilla => {
+    // The trained vanilla model: taken from the checkpoint when one is given,
+    // trained from scratch otherwise.
+    let vanilla_model = || match vanilla {
+        Some(checkpoint) => checkpoint.model.clone(),
+        None => {
+            let mut model = build_model(kind, &base_ctx, dataset, cfg);
             train(
                 &mut model,
                 &base_ctx,
@@ -129,9 +177,14 @@ pub fn run_method(
                 None,
                 &cfg.vanilla_train_config(),
             );
-            (base_ctx, None)
+            model
         }
+    };
+
+    let (model, deploy_ctx, fairness_loss_weights) = match method {
+        Method::Vanilla => (vanilla_model(), base_ctx.clone(), None),
         Method::Reg => {
+            let mut model = build_model(kind, &base_ctx, dataset, cfg);
             train(
                 &mut model,
                 &base_ctx,
@@ -141,9 +194,10 @@ pub fn run_method(
                 Some(&reg),
                 &cfg.vanilla_train_config(),
             );
-            (base_ctx, None)
+            (model, base_ctx.clone(), None)
         }
         Method::DpReg => {
+            let mut model = build_model(kind, &base_ctx, dataset, cfg);
             let dp_graph = dp_perturb(dataset, cfg.dp_epsilon, cfg.seed);
             let dp_ctx = base_ctx.with_graph(dp_graph);
             train(
@@ -155,18 +209,10 @@ pub fn run_method(
                 Some(&reg),
                 &cfg.vanilla_train_config(),
             );
-            (dp_ctx, None)
+            (model, dp_ctx, None)
         }
         Method::DpFr => {
-            train(
-                &mut model,
-                &base_ctx,
-                labels,
-                train_ids,
-                &uniform,
-                None,
-                &cfg.vanilla_train_config(),
-            );
+            let mut model = vanilla_model();
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xb492_b66f);
             let sample = PairSample::balanced(&dataset.graph, &mut rng);
             let fr = fairness_weights(&model, &base_ctx, labels, train_ids, &l_s, &sample, cfg);
@@ -181,18 +227,10 @@ pub fn run_method(
                 None,
                 &cfg.finetune_train_config(),
             );
-            (dp_ctx, Some(fr.loss_weights))
+            (model, dp_ctx, Some(fr.loss_weights))
         }
         Method::Ppfr => {
-            train(
-                &mut model,
-                &base_ctx,
-                labels,
-                train_ids,
-                &uniform,
-                None,
-                &cfg.vanilla_train_config(),
-            );
+            let mut model = vanilla_model();
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xb492_b66f);
             let sample = PairSample::balanced(&dataset.graph, &mut rng);
             let fr = fairness_weights(&model, &base_ctx, labels, train_ids, &l_s, &sample, cfg);
@@ -212,7 +250,7 @@ pub fn run_method(
                 None,
                 &cfg.finetune_train_config(),
             );
-            (pp_ctx, Some(fr.loss_weights))
+            (model, pp_ctx, Some(fr.loss_weights))
         }
     };
 
@@ -295,6 +333,46 @@ mod tests {
             assert_eq!(outcome.deploy_ctx.graph.n_edges(), ds.graph.n_edges());
             assert!(outcome.fairness_loss_weights.is_none());
         }
+    }
+
+    #[test]
+    fn checkpoint_reuse_is_bit_identical_to_from_scratch() {
+        let ds = tiny_dataset();
+        let cfg = PpfrConfig {
+            vanilla_epochs: 30,
+            influence_cg_iters: 6,
+            ..PpfrConfig::smoke()
+        };
+        let vanilla = run_method(&ds, ModelKind::Gcn, Method::Vanilla, &cfg);
+        for method in [Method::Vanilla, Method::Reg, Method::DpFr, Method::Ppfr] {
+            let scratch = run_method(&ds, ModelKind::Gcn, method, &cfg);
+            let reused = run_method_from_vanilla(&ds, ModelKind::Gcn, method, &cfg, Some(&vanilla));
+            let a = ppfr_gnn::GnnModel::forward(&scratch.model, &scratch.deploy_ctx);
+            let b = ppfr_gnn::GnnModel::forward(&reused.model, &reused.deploy_ctx);
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "{} diverges when reusing the vanilla checkpoint",
+                method.name()
+            );
+            assert_eq!(
+                scratch.deploy_ctx.graph.n_edges(),
+                reused.deploy_ctx.graph.n_edges()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint must be a Vanilla outcome")]
+    fn checkpoint_must_be_vanilla() {
+        let ds = tiny_dataset();
+        let cfg = PpfrConfig {
+            vanilla_epochs: 10,
+            influence_cg_iters: 4,
+            ..PpfrConfig::smoke()
+        };
+        let reg = run_method(&ds, ModelKind::Gcn, Method::Reg, &cfg);
+        let _ = run_method_from_vanilla(&ds, ModelKind::Gcn, Method::Ppfr, &cfg, Some(&reg));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! * [`influence`] — influence functions (HVP + conjugate gradient);
 //! * [`qclp`] — the fairness re-weighting QCLP solver;
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets;
-//! * [`core`] — the PPFR pipeline, baselines and experiment drivers.
+//! * [`core`] — the PPFR pipeline, baselines and experiment drivers;
+//! * [`runner`] — the multi-seed scenario runner with artifact caching.
 
 pub use ppfr_core as core;
 pub use ppfr_datasets as datasets;
@@ -26,3 +27,4 @@ pub use ppfr_linalg as linalg;
 pub use ppfr_nn as nn;
 pub use ppfr_privacy as privacy;
 pub use ppfr_qclp as qclp;
+pub use ppfr_runner as runner;

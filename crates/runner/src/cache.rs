@@ -1,0 +1,162 @@
+//! Keyed artifact cache: one [`DatasetArtifacts`] bundle per
+//! `(dataset spec, run seed, config, threat subset)`.
+//!
+//! The expensive per-group setup — dataset generation, the threat auditor's
+//! pair sample + shadow bundle, and the trained vanilla checkpoints — is
+//! paid once per key; a warm re-run of the same scenario (or a different
+//! scenario sharing cells) skips straight to the method-specific training.
+//! Every artifact is deterministic in its key, so cache hits are
+//! bit-identical to cold builds (pinned by the runner's property tests).
+
+use ppfr_core::experiments::DatasetArtifacts;
+use ppfr_core::PpfrConfig;
+use ppfr_datasets::DatasetSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a, the cheap stable hash used for cache-key fingerprints.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Thread-safe keyed store of shared per-`(dataset, seed)` artifacts.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<String, Arc<Mutex<DatasetArtifacts>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache key of one `(dataset, seed, config, threat subset)` cell:
+    /// a readable prefix plus a fingerprint over every input that shapes the
+    /// artifacts.
+    pub fn key(
+        spec: &DatasetSpec,
+        cfg: &PpfrConfig,
+        data_seed: u64,
+        threat_models: Option<&[String]>,
+    ) -> String {
+        let cfg_json = serde_json::to_string(cfg).expect("config serialises");
+        let fingerprint = fnv1a(
+            format!("{spec:?}|seed={data_seed}|cfg={cfg_json}|threats={threat_models:?}")
+                .as_bytes(),
+        );
+        format!("{}:s{}:{:016x}", spec.name, data_seed, fingerprint)
+    }
+
+    /// Fetches the artifacts for a key, building them on a miss.  The build
+    /// runs outside the map lock so independent groups build concurrently;
+    /// when set, `threat_models` subsets the auditor's registry before the
+    /// first audit.
+    pub fn get_or_build(
+        &self,
+        spec: &DatasetSpec,
+        cfg: &PpfrConfig,
+        data_seed: u64,
+        threat_models: Option<&[String]>,
+    ) -> Arc<Mutex<DatasetArtifacts>> {
+        let key = Self::key(spec, cfg, data_seed, threat_models);
+        if let Some(found) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut artifacts = DatasetArtifacts::build(spec, data_seed, cfg);
+        if let Some(names) = threat_models {
+            artifacts
+                .auditor_mut()
+                .registry_mut()
+                .retain(|model| names.iter().any(|n| n == model.name()));
+        }
+        let built = Arc::new(Mutex::new(artifacts));
+        let mut map = self.map.lock().expect("cache lock");
+        // Two groups never share a key within one scenario run, but a racing
+        // duplicate across runs keeps the first insertion canonical.
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (= builds) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached artifact bundles.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppfr_datasets::two_block_synthetic;
+
+    fn tiny_cfg() -> PpfrConfig {
+        PpfrConfig {
+            vanilla_epochs: 8,
+            influence_cg_iters: 3,
+            ..PpfrConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn keys_separate_seed_config_and_threat_subset() {
+        let spec = two_block_synthetic();
+        let cfg = tiny_cfg();
+        let base = ArtifactCache::key(&spec, &cfg, 7, None);
+        assert!(base.starts_with("two-block:s7:"));
+        assert_ne!(base, ArtifactCache::key(&spec, &cfg, 8, None));
+        let other_cfg = PpfrConfig {
+            perturb_ratio: 0.5,
+            ..tiny_cfg()
+        };
+        assert_ne!(base, ArtifactCache::key(&spec, &other_cfg, 7, None));
+        let subset = vec!["posteriors".to_string()];
+        assert_ne!(base, ArtifactCache::key(&spec, &cfg, 7, Some(&subset)));
+    }
+
+    #[test]
+    fn second_fetch_is_a_hit_and_returns_the_same_bundle() {
+        let cache = ArtifactCache::new();
+        let spec = two_block_synthetic();
+        let cfg = tiny_cfg();
+        let first = cache.get_or_build(&spec, &cfg, 7, None);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 1, 1));
+        let second = cache.get_or_build(&spec, &cfg, 7, None);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn threat_subset_shrinks_the_registry() {
+        let cache = ArtifactCache::new();
+        let spec = two_block_synthetic();
+        let cfg = tiny_cfg();
+        let subset = vec!["posteriors".to_string()];
+        let bundle = cache.get_or_build(&spec, &cfg, 7, Some(&subset));
+        let mut artifacts = bundle.lock().expect("bundle lock");
+        assert_eq!(artifacts.auditor_mut().registry().len(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # `ppfr_runner` — multi-seed scenario runner with artifact caching
+//!
+//! The paper reports every number of Tables III–V and Figs. 4–7 as an
+//! average over repeated runs.  This crate turns the single-seed experiment
+//! drivers of `ppfr_core` into that protocol:
+//!
+//! * a [`ScenarioSpec`] declares the run matrix — datasets × models ×
+//!   methods × seeds — plus the perturbation knobs and an optional
+//!   threat-model subset, and the [`ScenarioRegistry`] names the stock
+//!   scenarios shared by the `exp_*` binaries and the golden suite;
+//! * the executor ([`run_scenario`], serial twin [`run_scenario_serial`])
+//!   runs `(dataset, seed)` groups in parallel through
+//!   `ppfr_linalg::parallel` — thread count never changes the report, which
+//!   is pinned by forced-`PPFR_NUM_THREADS` tests like the kernel layer;
+//! * the [`ArtifactCache`] shares per-`(dataset, seed)` artifacts (the
+//!   generated graph, the threat auditor's pair sample + shadow bundle, the
+//!   trained vanilla checkpoints) across methods and across re-runs, so
+//!   warm executions skip straight to method-specific training;
+//! * aggregation produces typed [`RunSummary`] rows — `mean ± std` plus
+//!   min/max per metric — serialized as stable, sorted JSON
+//!   ([`MatrixReport::to_json`]), which `tests/golden_metrics.rs` pins
+//!   against committed snapshots.
+//!
+//! ```no_run
+//! use ppfr_runner::{ArtifactCache, ScenarioSpec, run_scenario};
+//!
+//! let cache = ArtifactCache::new();
+//! let report = run_scenario(&ScenarioSpec::bench_small(), &cache);
+//! println!("{}", report.to_table_string());
+//! let warm = run_scenario(&ScenarioSpec::bench_small(), &cache); // cache-warm
+//! assert_eq!(report.to_json(), warm.to_json());
+//! ```
+
+mod aggregate;
+mod cache;
+mod multi;
+mod runner;
+mod spec;
+
+pub use aggregate::{aggregate, MatrixReport, MetricStats, RunSummary, SeedRun};
+pub use cache::ArtifactCache;
+pub use multi::{
+    accuracy_view, fig4_view, fig6_multi, table3_view, CurvePointStats, CurveStats, Fig6MultiResult,
+};
+pub use runner::{run_scenario, run_scenario_serial};
+pub use spec::{two_block_weak, RunGroup, ScenarioRegistry, ScenarioSpec, DEFAULT_SEEDS};

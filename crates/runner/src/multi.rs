@@ -1,0 +1,303 @@
+//! Multi-seed views of the paper's tables and figures.
+//!
+//! The `exp_*` binaries render these instead of single-seed point
+//! estimates: every reported number is the `mean ± std` over the scenario's
+//! seed axis.  Tables III–V and Figs. 4/5/7 are straight views over a
+//! [`MatrixReport`]; Fig. 6 aggregates whole ablation curves pointwise over
+//! seeds.
+
+use crate::aggregate::{MatrixReport, MetricStats};
+use ppfr_core::experiments::{fig6_ablation_seeded, Fig6Result};
+use ppfr_core::ExperimentScale;
+use ppfr_linalg::parallel::par_rows;
+
+/// Table III view: accuracy and bias of Vanilla vs Reg per dataset, each as
+/// `mean ± std` over the seed axis.
+pub fn table3_view(report: &MatrixReport) -> String {
+    let mut out = format!(
+        "Table III (multi-seed, seeds {:?}): accuracy and bias of GCN (Vanilla vs Reg)\n",
+        report.seeds
+    );
+    out.push_str("dataset        method   acc(%)          bias\n");
+    for dataset in report.datasets() {
+        for method in ["Vanilla", "Reg"] {
+            let (Some(acc), Some(bias)) = (
+                report.summary(&dataset, "GCN", method, "acc"),
+                report.summary(&dataset, "GCN", method, "bias"),
+            ) else {
+                continue;
+            };
+            out.push_str(&format!(
+                "{:<14} {:<8} {:<15} {}\n",
+                dataset,
+                method,
+                acc.stats.scaled(100.0).pm(2),
+                bias.stats.pm(4)
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 4 view: per-distance link-stealing AUC of Vanilla vs Reg, each as
+/// `mean ± std`, plus the mean change — the multi-seed version of the
+/// paper's RQ1 bar chart.
+pub fn fig4_view(report: &MatrixReport) -> String {
+    let mut out = format!(
+        "Fig. 4 (multi-seed, seeds {:?}): link-stealing AUC per distance (Vanilla vs Reg, GCN)\n",
+        report.seeds
+    );
+    out.push_str("dataset        distance         AUC(vanilla)    AUC(Reg)        meanΔ\n");
+    let mut increases = 0usize;
+    let mut total = 0usize;
+    for dataset in report.datasets() {
+        let distances: Vec<String> = report
+            .summaries
+            .iter()
+            .filter(|s| {
+                s.dataset == dataset
+                    && s.model == "GCN"
+                    && s.method == "Vanilla"
+                    && s.metric.starts_with("auc_dist:")
+            })
+            .map(|s| s.metric.clone())
+            .collect();
+        for metric in distances {
+            let (Some(vanilla), Some(reg)) = (
+                report.summary(&dataset, "GCN", "Vanilla", &metric),
+                report.summary(&dataset, "GCN", "Reg", &metric),
+            ) else {
+                continue;
+            };
+            let change = reg.stats.mean - vanilla.stats.mean;
+            total += 1;
+            if change >= 0.0 {
+                increases += 1;
+            }
+            out.push_str(&format!(
+                "{:<14} {:<16} {:<15} {:<15} {:+.4}\n",
+                dataset,
+                metric.trim_start_matches("auc_dist:"),
+                vanilla.stats.pm(4),
+                reg.stats.pm(4),
+                change
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "mean risk increased in {increases}/{total} dataset-distance pairs\n"
+    ));
+    out
+}
+
+/// Fig. 5 / Fig. 7 view: accuracy cost of the non-vanilla methods for the
+/// given architectures, each bar as `mean ± std`.
+pub fn accuracy_view(report: &MatrixReport, models: &[&str], label: &str) -> String {
+    let mut out = format!(
+        "{label} (multi-seed, seeds {:?}): accuracy cost of the methods\n",
+        report.seeds
+    );
+    out.push_str("dataset        model      method   ΔAcc%           Acc%\n");
+    for (dataset, model, method) in report.cells() {
+        if method == "Vanilla" || !models.contains(&model.as_str()) {
+            continue;
+        }
+        let (Some(d_acc), Some(acc)) = (
+            report.summary(&dataset, &model, &method, "d_acc_pct"),
+            report.summary(&dataset, &model, &method, "acc"),
+        ) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{:<14} {:<10} {:<8} {:<15} {}\n",
+            dataset,
+            model,
+            method,
+            d_acc.stats.pm(2),
+            acc.stats.scaled(100.0).pm(2)
+        ));
+    }
+    out
+}
+
+/// One aggregated point of a Fig. 6 ablation curve.
+#[derive(Debug, Clone)]
+pub struct CurvePointStats {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Test accuracy over seeds.
+    pub accuracy: MetricStats,
+    /// InFoRM bias over seeds.
+    pub bias: MetricStats,
+    /// Mean attack AUC over seeds.
+    pub risk_auc: MetricStats,
+    /// Worst-case threat-model AUC over seeds.
+    pub worst_risk_auc: MetricStats,
+}
+
+/// One aggregated Fig. 6 panel.
+#[derive(Debug, Clone)]
+pub struct CurveStats {
+    /// Panel title.
+    pub title: String,
+    /// Swept-parameter name.
+    pub x_label: String,
+    /// Aggregated points.
+    pub points: Vec<CurvePointStats>,
+}
+
+/// Fig. 6 aggregated over the seed axis.
+#[derive(Debug, Clone)]
+pub struct Fig6MultiResult {
+    /// The seeds aggregated over.
+    pub seeds: Vec<u64>,
+    /// Vanilla reference levels.
+    pub vanilla: CurvePointStats,
+    /// The three panels.
+    pub panels: Vec<CurveStats>,
+}
+
+fn aggregate_points(
+    x: f64,
+    per_seed: &[&ppfr_core::experiments::AblationPoint],
+) -> CurvePointStats {
+    let col = |f: fn(&ppfr_core::experiments::AblationPoint) -> f64| {
+        MetricStats::from_values(&per_seed.iter().map(|p| f(p)).collect::<Vec<f64>>())
+    };
+    CurvePointStats {
+        x,
+        accuracy: col(|p| p.accuracy),
+        bias: col(|p| p.bias),
+        risk_auc: col(|p| p.risk_auc),
+        worst_risk_auc: col(|p| p.worst_risk_auc),
+    }
+}
+
+fn aggregate_curves(per_seed: Vec<&ppfr_core::experiments::AblationCurve>) -> CurveStats {
+    let first = per_seed[0];
+    let points = (0..first.points.len())
+        .map(|i| {
+            let column: Vec<_> = per_seed.iter().map(|c| &c.points[i]).collect();
+            aggregate_points(first.points[i].x, &column)
+        })
+        .collect();
+    CurveStats {
+        title: first.title.clone(),
+        x_label: first.x_label.clone(),
+        points,
+    }
+}
+
+/// Runs the Fig. 6 ablation once per seed (seeds in parallel) and aggregates
+/// each curve pointwise.
+pub fn fig6_multi(scale: ExperimentScale, seeds: &[u64]) -> Fig6MultiResult {
+    assert!(!seeds.is_empty(), "fig6_multi needs at least one seed");
+    let results: Vec<Fig6Result> = par_rows(seeds.len(), |i| fig6_ablation_seeded(scale, seeds[i]));
+    let vanilla: Vec<_> = results.iter().map(|r| &r.vanilla).collect();
+    let panels = [
+        results.iter().map(|r| &r.fr_only).collect::<Vec<_>>(),
+        results.iter().map(|r| &r.pp_sweep).collect(),
+        results.iter().map(|r| &r.pp_fixed_fr_sweep).collect(),
+    ]
+    .into_iter()
+    .map(aggregate_curves)
+    .collect();
+    Fig6MultiResult {
+        seeds: seeds.to_vec(),
+        vanilla: aggregate_points(0.0, &vanilla),
+        panels,
+    }
+}
+
+impl Fig6MultiResult {
+    /// Plain-text rendering of the aggregated panels.
+    pub fn to_table_string(&self) -> String {
+        let mut out = format!(
+            "Fig. 6 (multi-seed, seeds {:?}): PPFR ablation, mean±std per point\n",
+            self.seeds
+        );
+        out.push_str(&format!(
+            "vanilla reference: acc {}  bias {}  risk {}  worst {}\n",
+            self.vanilla.accuracy.pm(4),
+            self.vanilla.bias.pm(4),
+            self.vanilla.risk_auc.pm(4),
+            self.vanilla.worst_risk_auc.pm(4)
+        ));
+        for panel in &self.panels {
+            out.push_str(&format!("\n[{}] (x = {})\n", panel.title, panel.x_label));
+            out.push_str("x        acc             bias            risk            worst\n");
+            for p in &panel.points {
+                out.push_str(&format!(
+                    "{:<8.2} {:<15} {:<15} {:<15} {}\n",
+                    p.x,
+                    p.accuracy.pm(4),
+                    p.bias.pm(4),
+                    p.risk_auc.pm(4),
+                    p.worst_risk_auc.pm(4)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate, SeedRun};
+    use ppfr_core::{Evaluation, MethodDeltas};
+
+    fn fake_run(method: &str, seed: u64, acc: f64) -> SeedRun {
+        SeedRun {
+            dataset: "two-block".to_string(),
+            model: "GCN".to_string(),
+            method: method.to_string(),
+            seed,
+            evaluation: Evaluation {
+                accuracy: acc,
+                bias: 0.1,
+                risk_auc: 0.9,
+                risk_gap: 0.2,
+                auc_per_distance: vec![
+                    ("cosine".to_string(), 0.8),
+                    ("euclidean".to_string(), 0.85),
+                ],
+                worst_risk_auc: 0.92,
+                auc_per_threat: vec![],
+            },
+            deltas: MethodDeltas {
+                d_acc: -0.02,
+                d_bias: -0.3,
+                d_risk: 0.05,
+                delta: -0.75,
+            },
+        }
+    }
+
+    fn fake_report() -> MatrixReport {
+        aggregate(
+            "fake",
+            &[1, 2],
+            vec![
+                fake_run("Vanilla", 1, 0.8),
+                fake_run("Vanilla", 2, 0.9),
+                fake_run("Reg", 1, 0.7),
+                fake_run("Reg", 2, 0.8),
+            ],
+        )
+    }
+
+    #[test]
+    fn views_render_means_and_methods() {
+        let report = fake_report();
+        let t3 = table3_view(&report);
+        assert!(t3.contains("Vanilla") && t3.contains("Reg") && t3.contains('±'));
+        let f4 = fig4_view(&report);
+        assert!(f4.contains("cosine") && f4.contains("euclidean"));
+        assert!(f4.contains("2/2") || f4.contains("0/2") || f4.contains("1/2"));
+        let f5 = accuracy_view(&report, &["GCN"], "Fig. 5");
+        assert!(f5.contains("Reg") && !f5.contains("Vanilla "));
+        let empty = accuracy_view(&report, &["GraphSage"], "Fig. 7");
+        assert!(!empty.contains("Reg"));
+    }
+}

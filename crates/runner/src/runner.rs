@@ -1,0 +1,161 @@
+//! The scenario executor: expands a [`ScenarioSpec`] into run groups,
+//! executes them in parallel through `ppfr_linalg::parallel` (with a
+//! bit-identical serial twin) and aggregates the per-seed runs.
+//!
+//! Parallelism is over `(dataset, seed)` groups: runs inside one group share
+//! mutable artifacts (the auditor's distance buffers, the vanilla
+//! checkpoints), so the group is the natural independence boundary.  Every
+//! group is deterministic in its cache key and the aggregation
+//! canonicalises run order, so thread count never changes the report —
+//! pinned by the `forced-thread` tests below, exactly like the kernel layer.
+
+use crate::aggregate::{aggregate, MatrixReport, SeedRun};
+use crate::cache::ArtifactCache;
+use crate::spec::{RunGroup, ScenarioSpec};
+use ppfr_linalg::parallel::par_rows;
+
+/// Executes every run of one group against its (possibly cached) shared
+/// artifacts.
+fn run_group(spec: &ScenarioSpec, group: &RunGroup, cache: &ArtifactCache) -> Vec<SeedRun> {
+    let cfg = spec.config_for_seed(group.seed);
+    let dataset_spec = &spec.datasets[group.dataset_index];
+    let bundle = cache.get_or_build(
+        dataset_spec,
+        &cfg,
+        group.seed,
+        spec.threat_models.as_deref(),
+    );
+    let mut artifacts = bundle.lock().expect("artifact lock");
+    let mut runs = Vec::with_capacity(spec.models.len() * spec.methods.len());
+    for &kind in &spec.models {
+        for &method in &spec.methods {
+            let cell = artifacts.cell(kind, method, &cfg);
+            runs.push(SeedRun {
+                dataset: cell.run.dataset.clone(),
+                model: cell.run.model.clone(),
+                method: cell.run.method.clone(),
+                seed: group.seed,
+                deltas: cell.deltas(),
+                evaluation: cell.run.evaluation,
+            });
+        }
+    }
+    runs
+}
+
+fn finish(spec: &ScenarioSpec, per_group: Vec<Vec<SeedRun>>) -> MatrixReport {
+    let runs: Vec<SeedRun> = per_group.into_iter().flatten().collect();
+    aggregate(&spec.name, &spec.seeds, runs)
+}
+
+/// Executes the scenario's full run matrix, groups in parallel.
+///
+/// # Panics
+/// Panics on an invalid spec (empty axis, duplicate seeds).
+pub fn run_scenario(spec: &ScenarioSpec, cache: &ArtifactCache) -> MatrixReport {
+    spec.validate().expect("valid scenario");
+    let groups = spec.groups();
+    finish(
+        spec,
+        par_rows(groups.len(), |g| run_group(spec, &groups[g], cache)),
+    )
+}
+
+/// The serial twin of [`run_scenario`]: identical results, one group at a
+/// time.  Kept for the equivalence tests and for callers that must not
+/// spawn worker threads.
+pub fn run_scenario_serial(spec: &ScenarioSpec, cache: &ArtifactCache) -> MatrixReport {
+    spec.validate().expect("valid scenario");
+    finish(
+        spec,
+        spec.groups()
+            .iter()
+            .map(|g| run_group(spec, g, cache))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::two_block_weak;
+    use ppfr_core::{Method, PpfrConfig};
+    use ppfr_datasets::two_block_synthetic;
+    use ppfr_linalg::parallel::with_forced_threads;
+
+    /// A deliberately tiny matrix so the executor tests stay fast: 2 small
+    /// datasets × 2 methods × 2 seeds at 10 epochs.
+    fn tiny_scenario() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "tiny",
+            vec![two_block_synthetic(), two_block_weak()],
+            PpfrConfig {
+                vanilla_epochs: 10,
+                influence_cg_iters: 3,
+                ..PpfrConfig::smoke()
+            },
+        )
+        .with_methods(&[Method::Vanilla, Method::Reg])
+        .with_seeds(&[7, 11])
+    }
+
+    #[test]
+    fn matrix_shape_and_summary_coverage() {
+        let cache = ArtifactCache::new();
+        let report = run_scenario(&tiny_scenario(), &cache);
+        assert_eq!(report.runs.len(), 8, "2 datasets × 2 methods × 2 seeds");
+        assert_eq!(cache.misses(), 4, "one build per (dataset, seed)");
+        for (dataset, model, method) in report.cells() {
+            for metric in ["acc", "bias", "risk_auc", "worst_risk_auc", "delta"] {
+                let s = report
+                    .summary(&dataset, &model, &method, metric)
+                    .unwrap_or_else(|| panic!("{dataset}/{method}/{metric} missing"));
+                assert_eq!(s.stats.n, 2);
+                assert!(s.stats.mean.is_finite() && s.stats.std.is_finite());
+            }
+        }
+        // Vanilla rows are their own reference: Δ metrics are exactly zero.
+        let d = report
+            .summary("two-block", "GCN", "Vanilla", "d_acc_pct")
+            .expect("vanilla delta row");
+        assert_eq!(d.stats.mean, 0.0);
+        assert_eq!(d.stats.std, 0.0);
+    }
+
+    #[test]
+    fn parallel_serial_and_forced_thread_counts_agree_bitwise() {
+        let spec = tiny_scenario();
+        let serial = run_scenario_serial(&spec, &ArtifactCache::new()).to_json();
+        for threads in [1, 4] {
+            let parallel =
+                with_forced_threads(threads, || run_scenario(&spec, &ArtifactCache::new()));
+            assert_eq!(
+                parallel.to_json(),
+                serial,
+                "report differs at {threads} forced threads"
+            );
+        }
+    }
+
+    #[test]
+    fn threat_subset_restricts_the_per_threat_metrics() {
+        let cache = ArtifactCache::new();
+        let spec = tiny_scenario()
+            .with_seeds(&[7])
+            .with_threat_models(&["posteriors", "posteriors+shadow"]);
+        let report = run_scenario(&spec, &cache);
+        let run = &report.runs[0];
+        assert_eq!(run.evaluation.auc_per_threat.len(), 2);
+        assert!(report
+            .summary("two-block", "GCN", "Vanilla", "auc_threat:posteriors")
+            .is_some());
+        assert!(report
+            .summary(
+                "two-block",
+                "GCN",
+                "Vanilla",
+                "auc_threat:posteriors+features"
+            )
+            .is_none());
+    }
+}

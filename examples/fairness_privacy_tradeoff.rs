@@ -1,37 +1,52 @@
 //! RQ1 demo: improving individual fairness raises edge-privacy risk.
 //!
-//! Trains a GCN with and without the InFoRM fairness regulariser on each
-//! high-homophily dataset and prints the bias / attack-AUC movement — the
-//! experiment behind Table III and Fig. 4 of the paper.
+//! Runs the multi-seed scenario runner over each high-homophily dataset,
+//! training a GCN with and without the InFoRM fairness regulariser, and
+//! prints the bias / attack-AUC movement as `mean ± std` over the seed axis
+//! — the experiment behind Table III and Fig. 4 of the paper.
 //!
-//! Run with: `cargo run --release -p ppfr-core --example fairness_privacy_tradeoff`
+//! Run with: `cargo run --release -p ppfr --example fairness_privacy_tradeoff`
 
-use ppfr_core::experiments::high_homophily_specs;
-use ppfr_core::{evaluate, run_method, ExperimentScale, Method, PpfrConfig};
-use ppfr_datasets::generate;
-use ppfr_gnn::ModelKind;
+use ppfr::core::experiments::high_homophily_specs;
+use ppfr::core::{ExperimentScale, Method, PpfrConfig};
+use ppfr::runner::{run_scenario, ArtifactCache, ScenarioSpec};
 
 fn main() {
-    let cfg = PpfrConfig::default();
-    println!("RQ1: does improving individual fairness increase edge-privacy risk?\n");
+    let spec = ScenarioSpec::new(
+        "rq1-tradeoff",
+        high_homophily_specs(ExperimentScale::Full),
+        PpfrConfig::default(),
+    )
+    .with_methods(&[Method::Vanilla, Method::Reg]);
+    println!("RQ1: does improving individual fairness increase edge-privacy risk?");
     println!(
-        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>10}",
-        "dataset", "bias(van)", "bias(Reg)", "AUC(van)", "AUC(Reg)", "risk Δ"
+        "(multi-seed: every number is mean±std over seeds {:?})\n",
+        spec.seeds
     );
-    for spec in high_homophily_specs(ExperimentScale::Full) {
-        let dataset = generate(&spec, 7);
-        let vanilla = run_method(&dataset, ModelKind::Gcn, Method::Vanilla, &cfg);
-        let reg = run_method(&dataset, ModelKind::Gcn, Method::Reg, &cfg);
-        let e_vanilla = evaluate(&vanilla, &dataset, &cfg);
-        let e_reg = evaluate(&reg, &dataset, &cfg);
+
+    let report = run_scenario(&spec, &ArtifactCache::new());
+    println!(
+        "{:<10} {:>16} {:>16} {:>16} {:>16} {:>10}",
+        "dataset", "bias(van)", "bias(Reg)", "AUC(van)", "AUC(Reg)", "mean risk Δ"
+    );
+    for dataset in report.datasets() {
+        let get = |method: &str, metric: &str| {
+            report
+                .summary(&dataset, "GCN", method, metric)
+                .expect("metric present")
+                .stats
+                .clone()
+        };
+        let auc_van = get("Vanilla", "risk_auc");
+        let auc_reg = get("Reg", "risk_auc");
         println!(
-            "{:<10} {:>10.4} {:>10.4} {:>12.4} {:>12.4} {:>+10.4}",
-            spec.name,
-            e_vanilla.bias,
-            e_reg.bias,
-            e_vanilla.risk_auc,
-            e_reg.risk_auc,
-            e_reg.risk_auc - e_vanilla.risk_auc,
+            "{:<10} {:>16} {:>16} {:>16} {:>16} {:>+10.4}",
+            dataset,
+            get("Vanilla", "bias").pm(4),
+            get("Reg", "bias").pm(4),
+            auc_van.pm(4),
+            auc_reg.pm(4),
+            auc_reg.mean - auc_van.mean,
         );
     }
     println!("\nbias(Reg) < bias(van) shows the regulariser works;");

@@ -137,6 +137,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, so callers can parse arbitrary JSON
+// into a tree, edit it structurally (e.g. merge report sections) and print
+// it back without a typed schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_num {
     ($($ty:ty),*) => {$(
         impl Serialize for $ty {
