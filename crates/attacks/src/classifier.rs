@@ -238,21 +238,24 @@ impl TrainedAttack {
             for _ in 0..cfg.epochs {
                 unpack(&params, &mut w1, &mut b1, &mut w2, &mut b2);
                 let grads = if hidden == 0 {
-                    let logits = x.matmul(&w1).add_row_broadcast(&b1);
+                    let mut logits = x.matmul(&w1);
+                    logits.add_row_broadcast_inplace(&b1);
                     let ce = weighted_cross_entropy(&logits, &labels, &ids, &weights);
-                    let g_w1 = x.transpose().matmul(&ce.d_logits);
+                    let g_w1 = x.matmul_at_b(&ce.d_logits);
                     let g_b1 = ce.d_logits.col_sums();
                     pack(&g_w1, &g_b1, &w2, &b2)
                 } else {
-                    let pre = x.matmul(&w1).add_row_broadcast(&b1);
+                    let mut pre = x.matmul(&w1);
+                    pre.add_row_broadcast_inplace(&b1);
                     let h = pre.map(f64::tanh);
-                    let logits = h.matmul(&w2).add_row_broadcast(&b2);
+                    let mut logits = h.matmul(&w2);
+                    logits.add_row_broadcast_inplace(&b2);
                     let ce = weighted_cross_entropy(&logits, &labels, &ids, &weights);
-                    let g_w2 = h.transpose().matmul(&ce.d_logits);
+                    let g_w2 = h.matmul_at_b(&ce.d_logits);
                     let g_b2 = ce.d_logits.col_sums();
-                    let d_h = ce.d_logits.matmul(&w2.transpose());
+                    let d_h = ce.d_logits.matmul_a_bt(&w2);
                     let d_pre = d_h.zip_with(&h, |g, t| g * (1.0 - t * t));
-                    let g_w1 = x.transpose().matmul(&d_pre);
+                    let g_w1 = x.matmul_at_b(&d_pre);
                     let g_b1 = d_pre.col_sums();
                     pack(&g_w1, &g_b1, &g_w2, &g_b2)
                 };
@@ -317,13 +320,18 @@ impl TrainedAttack {
     fn classifier_scores(&self, table: &PairFeatureTable, indices: &[usize]) -> Vec<f64> {
         let x = self.scaler.design(table, indices);
         let logits = match self.kind {
-            ClassifierKind::Logistic => x.matmul(&self.w1).add_row_broadcast(&self.b1),
+            ClassifierKind::Logistic => {
+                let mut logits = x.matmul(&self.w1);
+                logits.add_row_broadcast_inplace(&self.b1);
+                logits
+            }
             ClassifierKind::Mlp { .. } => {
-                let h = x
-                    .matmul(&self.w1)
-                    .add_row_broadcast(&self.b1)
-                    .map(f64::tanh);
-                h.matmul(&self.w2).add_row_broadcast(&self.b2)
+                let mut h = x.matmul(&self.w1);
+                h.add_row_broadcast_inplace(&self.b1);
+                h.map_inplace(f64::tanh);
+                let mut logits = h.matmul(&self.w2);
+                logits.add_row_broadcast_inplace(&self.b2);
+                logits
             }
         };
         (0..logits.rows())

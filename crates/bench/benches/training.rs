@@ -1,0 +1,102 @@
+//! End-to-end training benchmark: the legacy allocating loop against the
+//! zero-allocation `TrainWorkspace` fast path, per architecture, plus the
+//! per-epoch forward+backward building blocks (allocating vs workspace).
+//!
+//! The two paths are bit-identical (pinned by
+//! `crates/gnn/tests/workspace_equivalence.rs`), so any gap measured here is
+//! pure allocator/bandwidth overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ppfr_datasets::{cora, generate};
+use ppfr_gnn::{
+    train_legacy, train_with_workspace, AnyModel, GnnModel, GraphContext, ModelKind, TrainConfig,
+    TrainWorkspace,
+};
+use ppfr_linalg::Matrix;
+use std::time::Duration;
+
+fn bench_epoch_passes(c: &mut Criterion) {
+    let ds = generate(&cora(), 7);
+    let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+    let mut group = c.benchmark_group("epoch_forward_backward");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for kind in ModelKind::ALL {
+        let model = AnyModel::new(kind, ctx.feat_dim(), 16, ds.n_classes, 1);
+        let d_logits = Matrix::filled(ds.n_nodes(), ds.n_classes, 1e-3);
+        group.bench_function(format!("legacy_{}", kind.name()), |b| {
+            b.iter(|| {
+                let _logits = model.forward(&ctx);
+                model.backward(&ctx, &d_logits)
+            })
+        });
+        let mut ws = TrainWorkspace::new();
+        group.bench_function(format!("workspace_{}", kind.name()), |b| {
+            b.iter(|| {
+                model.forward_ws(&ctx, &mut ws);
+                ws.d_logits.copy_from(&d_logits);
+                model.backward_ws(&ctx, &mut ws);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_training(c: &mut Criterion) {
+    let ds = generate(&cora(), 7);
+    let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+    let weights = vec![1.0; ds.splits.train.len()];
+    let cfg = TrainConfig {
+        epochs: 5,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("train_5_epochs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for kind in ModelKind::ALL {
+        group.bench_function(format!("legacy_{}", kind.name()), |b| {
+            b.iter_batched(
+                || AnyModel::new(kind, ctx.feat_dim(), 16, ds.n_classes, 1),
+                |mut model| {
+                    train_legacy(
+                        &mut model,
+                        &ctx,
+                        &ds.labels,
+                        &ds.splits.train,
+                        &weights,
+                        None,
+                        &cfg,
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mut ws = TrainWorkspace::new();
+        group.bench_function(format!("workspace_{}", kind.name()), |b| {
+            b.iter_batched(
+                || AnyModel::new(kind, ctx.feat_dim(), 16, ds.n_classes, 1),
+                |mut model| {
+                    train_with_workspace(
+                        &mut model,
+                        &ctx,
+                        &ds.labels,
+                        &ds.splits.train,
+                        &weights,
+                        None,
+                        &cfg,
+                        &mut ws,
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(training, bench_epoch_passes, bench_full_training);
+criterion_main!(training);

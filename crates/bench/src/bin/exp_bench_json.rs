@@ -61,6 +61,27 @@ pub struct AttackStageBench {
     pub ms: f64,
 }
 
+/// End-to-end training timing per architecture: the legacy allocating loop
+/// against the zero-allocation `TrainWorkspace` fast path (bit-identical
+/// results; the gap is pure allocator/bandwidth overhead).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingBench {
+    /// Architecture name (GCN / GAT / GraphSage).
+    pub model: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Best-of-reps per-epoch time of the legacy loop (milliseconds).
+    pub legacy_epoch_ms: f64,
+    /// Best-of-reps per-epoch time of the warm workspace path (milliseconds).
+    pub workspace_epoch_ms: f64,
+    /// `legacy_epoch_ms / workspace_epoch_ms`.
+    pub speedup: f64,
+    /// Epochs per second with a cold (freshly allocated) workspace.
+    pub cold_epochs_per_s: f64,
+    /// Epochs per second with a warm (reused) workspace.
+    pub warm_epochs_per_s: f64,
+}
+
 /// Scenario-runner timing: one full run matrix, cold vs artifact-cache-warm.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunnerBench {
@@ -177,6 +198,91 @@ fn main() {
         || with_forced_threads(1, hvp),
         hvp,
     ));
+
+    // End-to-end GNN training: legacy allocating loop vs the TrainWorkspace
+    // fast path, per architecture (bit-identical results).
+    let training = {
+        use ppfr_gnn::{train_legacy, train_with_workspace, TrainConfig, TrainWorkspace};
+        let epochs = match scale {
+            ExperimentScale::Full => 20,
+            ExperimentScale::Smoke => 8,
+        };
+        let cfg = TrainConfig {
+            epochs,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            seed: 1,
+        };
+        let weights = vec![1.0; ds.splits.train.len()];
+        let size = format!("n={} d={} h=16 e={}", ds.n_nodes(), ctx.feat_dim(), epochs);
+        let mut rows = Vec::new();
+        for kind in ModelKind::ALL {
+            let fresh = || AnyModel::new(kind, ctx.feat_dim(), 16, ds.n_classes, 1);
+            let legacy_ms = best_ms(reps, || {
+                let mut model = fresh();
+                train_legacy(
+                    &mut model,
+                    &ctx,
+                    &ds.labels,
+                    &ds.splits.train,
+                    &weights,
+                    None,
+                    &cfg,
+                )
+            });
+            // Cold: a fresh workspace per run (first-call warm-up included).
+            let cold_ms = best_ms(reps, || {
+                let mut model = fresh();
+                let mut ws = TrainWorkspace::new();
+                train_with_workspace(
+                    &mut model,
+                    &ctx,
+                    &ds.labels,
+                    &ds.splits.train,
+                    &weights,
+                    None,
+                    &cfg,
+                    &mut ws,
+                )
+            });
+            // Warm: one workspace reused across runs (the multi-seed pattern).
+            let mut ws = TrainWorkspace::new();
+            let warm_ms = best_ms(reps + 1, || {
+                let mut model = fresh();
+                train_with_workspace(
+                    &mut model,
+                    &ctx,
+                    &ds.labels,
+                    &ds.splits.train,
+                    &weights,
+                    None,
+                    &cfg,
+                    &mut ws,
+                )
+            });
+            let row = TrainingBench {
+                model: kind.name().to_string(),
+                size: size.clone(),
+                legacy_epoch_ms: legacy_ms / epochs as f64,
+                workspace_epoch_ms: warm_ms / epochs as f64,
+                speedup: legacy_ms / warm_ms,
+                cold_epochs_per_s: epochs as f64 / (cold_ms / 1e3),
+                warm_epochs_per_s: epochs as f64 / (warm_ms / 1e3),
+            };
+            println!(
+                "{:<24} {:<18} legacy {:>7.3} ms/ep   workspace {:>7.3} ms/ep   speedup {:>5.2}x   ({:.0} -> {:.0} ep/s)",
+                format!("training_{}", row.model),
+                row.size,
+                row.legacy_epoch_ms,
+                row.workspace_epoch_ms,
+                row.speedup,
+                row.cold_epochs_per_s,
+                row.warm_epochs_per_s
+            );
+            rows.push(row);
+        }
+        rows
+    };
 
     // Link-stealing attack evaluation: serial-vs-parallel of the single-pass
     // multi-metric kernel, plus the old-vs-new AUC-path comparison.
@@ -330,6 +436,7 @@ fn main() {
             ("threads", threads.to_value()),
             ("reps", reps.to_value()),
             ("kernels", kernels.to_value()),
+            ("training", training.to_value()),
             ("paths", vec![path].to_value()),
             ("attacks", attacks.to_value()),
             ("runner", runner.to_value()),

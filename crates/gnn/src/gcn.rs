@@ -3,8 +3,9 @@
 //! Forward pass: `Z = Â · ReLU(Â X W₁) · W₂` with the symmetric normalisation
 //! `Â = D̃^{-1/2}(A+I)D̃^{-1/2}` from the paper's preliminaries.
 
-use crate::{GnnModel, GraphContext};
-use ppfr_linalg::{relu, relu_grad, Matrix};
+use crate::workspace::ensure_len;
+use crate::{GnnModel, GraphContext, TrainWorkspace};
+use ppfr_linalg::{relu, relu_grad, relu_grad_into, relu_into, Matrix};
 use rand::Rng;
 
 /// Two-layer GCN with hidden width `hidden`.
@@ -59,10 +60,36 @@ impl GnnModel for Gcn {
         let d_pre1 = relu_grad(&pre1, &d_h1);
         // pre1 = Â (X W1): d(X W1) = Â d_pre1.
         let d_xw1 = ctx.a_hat.matmul_dense(&d_pre1);
-        let d_w1 = ctx.features.transpose().matmul(&d_xw1);
+        let d_w1 = ctx.features_t.matmul(&d_xw1);
         let mut grads = d_w1.into_vec();
         grads.extend(d_w2.into_vec());
         grads
+    }
+
+    fn forward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        let b = &mut ws.gcn;
+        ctx.features.matmul_into(&self.w1, &mut b.xw1);
+        ctx.a_hat.matmul_dense_into(&b.xw1, &mut b.pre1);
+        relu_into(&b.pre1, &mut b.h1);
+        b.h1.matmul_into(&self.w2, &mut b.h1w2);
+        ctx.a_hat.matmul_dense_into(&b.h1w2, &mut ws.logits);
+    }
+
+    fn backward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        // Reuses pre1/h1 cached by forward_ws; transpose-free kernels keep the
+        // accumulation order of the allocating backward, so the gradient is
+        // bit-identical.
+        let b = &mut ws.gcn;
+        ctx.a_hat.matmul_dense_into(&ws.d_logits, &mut b.d_h1w2);
+        b.h1.matmul_at_b_into(&b.d_h1w2, &mut b.d_w2);
+        b.d_h1w2.matmul_a_bt_into(&self.w2, &mut b.d_h1);
+        relu_grad_into(&b.pre1, &b.d_h1, &mut b.d_pre1);
+        ctx.a_hat.matmul_dense_into(&b.d_pre1, &mut b.d_xw1);
+        ctx.features.matmul_at_b_into(&b.d_xw1, &mut b.d_w1);
+        let (n1, n2) = (b.d_w1.as_slice().len(), b.d_w2.as_slice().len());
+        ensure_len(&mut ws.grads, n1 + n2);
+        ws.grads[..n1].copy_from_slice(b.d_w1.as_slice());
+        ws.grads[n1..].copy_from_slice(b.d_w2.as_slice());
     }
 
     fn params(&self) -> Vec<f64> {
@@ -74,8 +101,8 @@ impl GnnModel for Gcn {
     fn set_params(&mut self, params: &[f64]) {
         assert_eq!(params.len(), self.n_params(), "parameter length mismatch");
         let split = self.in_dim * self.hidden;
-        self.w1 = Matrix::from_vec(self.in_dim, self.hidden, params[..split].to_vec());
-        self.w2 = Matrix::from_vec(self.hidden, self.n_classes, params[split..].to_vec());
+        self.w1.as_mut_slice().copy_from_slice(&params[..split]);
+        self.w2.as_mut_slice().copy_from_slice(&params[split..]);
     }
 
     fn n_params(&self) -> usize {

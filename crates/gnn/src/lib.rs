@@ -16,10 +16,12 @@ mod gcn;
 mod model;
 mod sage;
 mod train;
+mod workspace;
 
 pub use context::GraphContext;
 pub use gat::Gat;
 pub use gcn::Gcn;
 pub use model::{AnyModel, GnnModel, ModelKind};
 pub use sage::GraphSage;
-pub use train::{train, FairnessReg, TrainConfig, TrainReport};
+pub use train::{train, train_legacy, train_with_workspace, FairnessReg, TrainConfig, TrainReport};
+pub use workspace::{GatBufs, GatLayerBufs, GcnBufs, SageBufs, TrainWorkspace};

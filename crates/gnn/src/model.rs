@@ -1,6 +1,6 @@
 //! The object-safe [`GnnModel`] trait and the [`AnyModel`] dispatcher.
 
-use crate::{Gat, Gcn, GraphContext, GraphSage};
+use crate::{Gat, Gcn, GraphContext, GraphSage, TrainWorkspace};
 use ppfr_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +39,31 @@ pub trait GnnModel {
     /// Re-draws any stochastic structure (e.g. GraphSAGE neighbour sampling).
     /// Deterministic models ignore this.
     fn resample(&mut self, _ctx: &GraphContext, _seed: u64) {}
+
+    /// Forward pass through a reusable [`TrainWorkspace`]: the logits land in
+    /// `ws.logits` and every intermediate activation is cached in the
+    /// workspace for the matching [`backward_ws`](GnnModel::backward_ws).
+    ///
+    /// The default delegates to the allocating [`forward`](GnnModel::forward);
+    /// the in-tree models override it with buffer-reusing kernels that are
+    /// **bit-identical** to the fallback.
+    fn forward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        ws.logits = self.forward(ctx);
+    }
+
+    /// Backward pass through the workspace: reads the upstream logit gradient
+    /// from `ws.d_logits` and leaves the flat parameter gradient in
+    /// `ws.grads`.
+    ///
+    /// Contract: must be preceded by [`forward_ws`](GnnModel::forward_ws)
+    /// with the same parameters, context and stochastic structure — the
+    /// in-tree overrides reuse the cached forward activations instead of
+    /// recomputing them (the allocating [`backward`](GnnModel::backward)
+    /// recomputes the forward pass, producing the same values).
+    fn backward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        let grads = self.backward(ctx, &ws.d_logits);
+        ws.grads = grads;
+    }
 }
 
 /// Which architecture to instantiate — used by experiment configuration.
@@ -146,6 +171,14 @@ impl GnnModel for AnyModel {
 
     fn resample(&mut self, ctx: &GraphContext, seed: u64) {
         self.inner_mut().resample(ctx, seed);
+    }
+
+    fn forward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        self.inner().forward_ws(ctx, ws);
+    }
+
+    fn backward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        self.inner().backward_ws(ctx, ws);
     }
 }
 

@@ -7,9 +7,10 @@
 //! Sampling matters for the paper's Table IV discussion: it dilutes the
 //! effectiveness of edge-DP noise.
 
-use crate::{GnnModel, GraphContext};
+use crate::workspace::ensure_len;
+use crate::{GnnModel, GraphContext, TrainWorkspace};
 use ppfr_graph::SparseMatrix;
-use ppfr_linalg::{relu, relu_grad, Matrix};
+use ppfr_linalg::{relu, relu_grad, relu_grad_into, relu_into, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -95,7 +96,7 @@ impl GnnModel for GraphSage {
         let d_pre1 = relu_grad(&pre1, &d_h1);
 
         // pre1 = x W1_self + (M x) W1_neigh
-        let d_w1_self = x.transpose().matmul(&d_pre1);
+        let d_w1_self = ctx.features_t.matmul(&d_pre1);
         let d_w1_neigh = mx.transpose().matmul(&d_pre1);
 
         let mut grads = d_w1_self.into_vec();
@@ -103,6 +104,46 @@ impl GnnModel for GraphSage {
         grads.extend(d_w2_self.into_vec());
         grads.extend(d_w2_neigh.into_vec());
         grads
+    }
+
+    fn forward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        let agg = self.aggregator(ctx);
+        let b = &mut ws.sage;
+        agg.matmul_dense_into(&ctx.features, &mut b.mx);
+        ctx.features.matmul_into(&self.w1_self, &mut b.t_self);
+        b.mx.matmul_into(&self.w1_neigh, &mut b.t_neigh);
+        b.t_self.zip_into(&b.t_neigh, &mut b.pre1, |a, bb| a + bb);
+        relu_into(&b.pre1, &mut b.h1);
+        agg.matmul_dense_into(&b.h1, &mut b.mh1);
+        b.h1.matmul_into(&self.w2_self, &mut b.o_self);
+        b.mh1.matmul_into(&self.w2_neigh, &mut b.o_neigh);
+        b.o_self
+            .zip_into(&b.o_neigh, &mut ws.logits, |a, bb| a + bb);
+    }
+
+    fn backward_ws(&self, ctx: &GraphContext, ws: &mut TrainWorkspace) {
+        // Reuses mx/pre1/h1/mh1 cached by forward_ws; transpose-free kernels
+        // keep the accumulation order of the allocating backward.
+        let agg = self.aggregator(ctx);
+        let b = &mut ws.sage;
+        b.h1.matmul_at_b_into(&ws.d_logits, &mut b.d_w2_self);
+        b.mh1.matmul_at_b_into(&ws.d_logits, &mut b.d_w2_neigh);
+        ws.d_logits.matmul_a_bt_into(&self.w2_self, &mut b.d_h1_dir);
+        ws.d_logits.matmul_a_bt_into(&self.w2_neigh, &mut b.d_mh1);
+        agg.transpose_matmul_dense_into(&b.d_mh1, &mut b.d_h1_agg);
+        b.d_h1_dir
+            .zip_into(&b.d_h1_agg, &mut b.d_h1, |a, bb| a + bb);
+        relu_grad_into(&b.pre1, &b.d_h1, &mut b.d_pre1);
+        ctx.features.matmul_at_b_into(&b.d_pre1, &mut b.d_w1_self);
+        b.mx.matmul_at_b_into(&b.d_pre1, &mut b.d_w1_neigh);
+
+        let l1 = b.d_w1_self.as_slice().len();
+        let l2 = b.d_w2_self.as_slice().len();
+        ensure_len(&mut ws.grads, 2 * l1 + 2 * l2);
+        ws.grads[..l1].copy_from_slice(b.d_w1_self.as_slice());
+        ws.grads[l1..2 * l1].copy_from_slice(b.d_w1_neigh.as_slice());
+        ws.grads[2 * l1..2 * l1 + l2].copy_from_slice(b.d_w2_self.as_slice());
+        ws.grads[2 * l1 + l2..].copy_from_slice(b.d_w2_neigh.as_slice());
     }
 
     fn params(&self) -> Vec<f64> {
@@ -118,29 +159,16 @@ impl GnnModel for GraphSage {
         let l1 = self.in_dim * self.hidden;
         let l2 = self.hidden * self.n_classes;
         let mut cursor = 0usize;
-        self.w1_self = Matrix::from_vec(
-            self.in_dim,
-            self.hidden,
-            params[cursor..cursor + l1].to_vec(),
-        );
-        cursor += l1;
-        self.w1_neigh = Matrix::from_vec(
-            self.in_dim,
-            self.hidden,
-            params[cursor..cursor + l1].to_vec(),
-        );
-        cursor += l1;
-        self.w2_self = Matrix::from_vec(
-            self.hidden,
-            self.n_classes,
-            params[cursor..cursor + l2].to_vec(),
-        );
-        cursor += l2;
-        self.w2_neigh = Matrix::from_vec(
-            self.hidden,
-            self.n_classes,
-            params[cursor..cursor + l2].to_vec(),
-        );
+        for w in [&mut self.w1_self, &mut self.w1_neigh] {
+            w.as_mut_slice()
+                .copy_from_slice(&params[cursor..cursor + l1]);
+            cursor += l1;
+        }
+        for w in [&mut self.w2_self, &mut self.w2_neigh] {
+            w.as_mut_slice()
+                .copy_from_slice(&params[cursor..cursor + l2]);
+            cursor += l2;
+        }
     }
 
     fn n_params(&self) -> usize {

@@ -6,10 +6,10 @@
 //! * PPFR / DPFR fine-tuning — `(1 + w_v)` weights from the QCLP on a
 //!   (possibly perturbed) graph (Eq. 7).
 
-use crate::{GnnModel, GraphContext};
+use crate::{GnnModel, GraphContext, TrainWorkspace};
 use ppfr_graph::SparseMatrix;
-use ppfr_linalg::{row_softmax_backward, Matrix};
-use ppfr_nn::{accuracy, weighted_cross_entropy, Adam, Optimizer};
+use ppfr_linalg::{row_softmax_backward, row_softmax_backward_into, Matrix};
+use ppfr_nn::{accuracy, weighted_cross_entropy, weighted_cross_entropy_into, Adam, Optimizer};
 
 /// Individual-fairness regulariser configuration: the similarity Laplacian
 /// `L_S` and the weight λ of `Tr(Pᵀ L_S P)` in the loss.
@@ -38,6 +38,14 @@ impl FairnessReg {
         self.laplacian
             .matmul_dense(probs)
             .scale(2.0 * self.lambda / probs.rows() as f64)
+    }
+
+    /// [`FairnessReg::grad_wrt_probs`] writing into a caller-owned buffer;
+    /// bit-identical to the allocating version.
+    pub fn grad_wrt_probs_into(&self, probs: &Matrix, out: &mut Matrix) {
+        self.laplacian.matmul_dense_into(probs, out);
+        let s = 2.0 * self.lambda / probs.rows() as f64;
+        out.map_inplace(|v| v * s);
     }
 }
 
@@ -93,7 +101,91 @@ pub struct TrainReport {
 /// * `weights` — the per-node loss weights (all ones for vanilla training,
 ///   `1 + w_v` for PPFR fine-tuning);
 /// * `fairness` — optional InFoRM regulariser (the Reg baseline).
+///
+/// This is the workspace fast path: every epoch runs through a
+/// [`TrainWorkspace`] of preallocated buffers (zero heap allocations per
+/// epoch after warm-up, unless neighbour resampling is active) and the
+/// backward pass reuses the cached forward activations.  The result is
+/// **bit-identical** to the allocating reference loop [`train_legacy`],
+/// pinned by `crates/gnn/tests/workspace_equivalence.rs`.
 pub fn train(
+    model: &mut dyn GnnModel,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    weights: &[f64],
+    fairness: Option<&FairnessReg>,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut ws = TrainWorkspace::new();
+    train_with_workspace(
+        model, ctx, labels, train_ids, weights, fairness, cfg, &mut ws,
+    )
+}
+
+/// [`train`] reusing a caller-owned [`TrainWorkspace`], so repeated training
+/// runs over same-shaped problems (multi-seed scenario matrices, fine-tuning
+/// sweeps, HVP gradient evaluations) skip even the warm-up allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_workspace(
+    model: &mut dyn GnnModel,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    weights: &[f64],
+    fairness: Option<&FairnessReg>,
+    cfg: &TrainConfig,
+    ws: &mut TrainWorkspace,
+) -> TrainReport {
+    assert_eq!(
+        train_ids.len(),
+        weights.len(),
+        "one weight per training node"
+    );
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut params = model.params();
+    let mut loss_history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        model.resample(ctx, cfg.seed.wrapping_add(epoch as u64));
+        model.forward_ws(ctx, ws);
+        let loss = weighted_cross_entropy_into(
+            &ws.logits,
+            labels,
+            train_ids,
+            weights,
+            &mut ws.probs,
+            &mut ws.d_logits,
+        );
+        if let Some(reg) = fairness {
+            reg.grad_wrt_probs_into(&ws.probs, &mut ws.d_probs);
+            row_softmax_backward_into(&ws.probs, &ws.d_probs, &mut ws.d_reg);
+            ws.d_logits.add_inplace(&ws.d_reg);
+        }
+        model.backward_ws(ctx, ws);
+        opt.step(&mut params, &ws.grads);
+        model.set_params(&params);
+        loss_history.push(loss);
+    }
+    // Final report through the warm workspace too (bit-identical to the
+    // allocating forward/softmax, per the pinned equivalence tests).
+    model.forward_ws(ctx, ws);
+    let train_accuracy = accuracy(&ws.logits, labels, train_ids);
+    let final_bias = fairness.map(|reg| {
+        ppfr_linalg::row_softmax_into(&ws.logits, &mut ws.probs);
+        reg.bias(&ws.probs)
+    });
+    TrainReport {
+        loss_history,
+        train_accuracy,
+        final_bias,
+    }
+}
+
+/// The original allocating training loop, kept as the reference oracle for
+/// the workspace fast path: every intermediate is a fresh matrix and the
+/// backward pass recomputes the forward internally.  [`train`] must produce
+/// bit-identical parameters and loss history.
+pub fn train_legacy(
     model: &mut dyn GnnModel,
     ctx: &GraphContext,
     labels: &[usize],

@@ -1,0 +1,253 @@
+//! Pins the tentpole guarantee of the training fast path: a full `train()`
+//! run through a [`TrainWorkspace`] is **bit-identical** to the allocating
+//! reference loop `train_legacy()`, for every architecture, with and without
+//! the fairness regulariser, across forced worker-thread counts — and
+//! workspace reuse across runs leaks no state.
+
+use ppfr_datasets::{generate, two_block_synthetic};
+use ppfr_gnn::{
+    train, train_legacy, train_with_workspace, AnyModel, FairnessReg, GnnModel, GraphContext,
+    GraphSage, ModelKind, TrainConfig, TrainWorkspace,
+};
+use ppfr_graph::{jaccard_similarity, similarity_laplacian};
+use ppfr_linalg::parallel::with_forced_threads;
+use ppfr_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (GraphContext, Vec<usize>, Vec<usize>) {
+    let ds = generate(&two_block_synthetic(), 7);
+    let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+    (ctx, ds.labels.clone(), ds.splits.train.clone())
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 25,
+        lr: 0.02,
+        weight_decay: 5e-4,
+        seed: 3,
+    }
+}
+
+#[test]
+fn forward_and_backward_ws_match_allocating_paths_bitwise() {
+    let (ctx, _, _) = setup();
+    for kind in ModelKind::ALL {
+        let model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 11);
+        let mut ws = TrainWorkspace::new();
+        for threads in [1, 4] {
+            with_forced_threads(threads, || {
+                let logits = model.forward(&ctx);
+                model.forward_ws(&ctx, &mut ws);
+                assert_eq!(
+                    ws.logits.as_slice(),
+                    logits.as_slice(),
+                    "{} forward differs at {threads} threads",
+                    kind.name()
+                );
+                // An arbitrary dense upstream gradient.
+                ws.d_logits = Matrix::from_vec(
+                    logits.rows(),
+                    logits.cols(),
+                    (0..logits.rows() * logits.cols())
+                        .map(|i| ((i as f64) * 0.37).sin() * 1e-2)
+                        .collect(),
+                );
+                let grads = model.backward(&ctx, &ws.d_logits);
+                model.backward_ws(&ctx, &mut ws);
+                assert_eq!(
+                    ws.grads,
+                    grads,
+                    "{} backward differs at {threads} threads",
+                    kind.name()
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn full_train_is_bit_identical_to_legacy_across_thread_counts() {
+    let (ctx, labels, train_ids) = setup();
+    let weights = vec![1.0; train_ids.len()];
+    for kind in ModelKind::ALL {
+        let reference = with_forced_threads(1, || {
+            let mut model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 5);
+            let report = train_legacy(
+                &mut model,
+                &ctx,
+                &labels,
+                &train_ids,
+                &weights,
+                None,
+                &cfg(),
+            );
+            (model.params(), report.loss_history)
+        });
+        for threads in [1, 4] {
+            let fast = with_forced_threads(threads, || {
+                let mut model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 5);
+                let report = train(
+                    &mut model,
+                    &ctx,
+                    &labels,
+                    &train_ids,
+                    &weights,
+                    None,
+                    &cfg(),
+                );
+                (model.params(), report.loss_history)
+            });
+            assert_eq!(
+                fast.0,
+                reference.0,
+                "{} parameters diverge from legacy at {threads} threads",
+                kind.name()
+            );
+            assert_eq!(
+                fast.1,
+                reference.1,
+                "{} loss history diverges from legacy at {threads} threads",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_enabled_graphsage_train_is_bit_identical_to_legacy() {
+    // The production pipeline trains GraphSAGE with neighbour sampling, so
+    // the per-epoch resample() path (sampled_agg rebuilt every epoch) must be
+    // pinned against the legacy loop too, not just the full-neighbourhood
+    // aggregator.
+    let (ctx, labels, train_ids) = setup();
+    let weights = vec![1.0; train_ids.len()];
+    let make = || {
+        let mut rng = StdRng::seed_from_u64(17);
+        AnyModel::GraphSage(GraphSage::new(ctx.feat_dim(), 8, 2, &mut rng).with_sampling(2))
+    };
+    let reference = with_forced_threads(1, || {
+        let mut model = make();
+        let report = train_legacy(
+            &mut model,
+            &ctx,
+            &labels,
+            &train_ids,
+            &weights,
+            None,
+            &cfg(),
+        );
+        (model.params(), report.loss_history)
+    });
+    for threads in [1, 4] {
+        let fast = with_forced_threads(threads, || {
+            let mut model = make();
+            let report = train(
+                &mut model,
+                &ctx,
+                &labels,
+                &train_ids,
+                &weights,
+                None,
+                &cfg(),
+            );
+            (model.params(), report.loss_history)
+        });
+        assert_eq!(
+            fast.0, reference.0,
+            "sampled GraphSAGE parameters diverge from legacy at {threads} threads"
+        );
+        assert_eq!(
+            fast.1, reference.1,
+            "loss history diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fairness_regularised_train_is_bit_identical_to_legacy() {
+    let (ctx, labels, train_ids) = setup();
+    let weights = vec![1.0; train_ids.len()];
+    let s = jaccard_similarity(&ctx.graph);
+    let reg = FairnessReg {
+        laplacian: similarity_laplacian(&s),
+        lambda: 2.0,
+    };
+    for kind in ModelKind::ALL {
+        let mut legacy_model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 9);
+        let legacy = train_legacy(
+            &mut legacy_model,
+            &ctx,
+            &labels,
+            &train_ids,
+            &weights,
+            Some(&reg),
+            &cfg(),
+        );
+        let mut fast_model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 9);
+        let fast = train(
+            &mut fast_model,
+            &ctx,
+            &labels,
+            &train_ids,
+            &weights,
+            Some(&reg),
+            &cfg(),
+        );
+        assert_eq!(
+            fast_model.params(),
+            legacy_model.params(),
+            "{} regularised parameters diverge",
+            kind.name()
+        );
+        assert_eq!(fast.loss_history, legacy.loss_history);
+        assert_eq!(
+            fast.final_bias.map(f64::to_bits),
+            legacy.final_bias.map(f64::to_bits),
+            "{} final bias diverges",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn workspace_reuse_across_runs_and_architectures_leaks_no_state() {
+    let (ctx, labels, train_ids) = setup();
+    let weights = vec![1.0; train_ids.len()];
+    let mut ws = TrainWorkspace::new();
+    // Same workspace reused across all three architectures and twice per
+    // architecture: every run must equal a fresh-workspace run.
+    for kind in ModelKind::ALL {
+        let mut fresh_model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 13);
+        let fresh = train(
+            &mut fresh_model,
+            &ctx,
+            &labels,
+            &train_ids,
+            &weights,
+            None,
+            &cfg(),
+        );
+        for run in 0..2 {
+            let mut model = AnyModel::new(kind, ctx.feat_dim(), 8, 2, 13);
+            let report = train_with_workspace(
+                &mut model,
+                &ctx,
+                &labels,
+                &train_ids,
+                &weights,
+                None,
+                &cfg(),
+                &mut ws,
+            );
+            assert_eq!(
+                model.params(),
+                fresh_model.params(),
+                "{} run {run} with a warm workspace diverges",
+                kind.name()
+            );
+            assert_eq!(report.loss_history, fresh.loss_history);
+        }
+    }
+}

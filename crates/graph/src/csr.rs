@@ -129,40 +129,65 @@ impl SparseMatrix {
     /// Sparse × dense product, parallelised over output rows via the shared
     /// `ppfr_linalg::parallel` idiom.
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_dense_into(dense, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::matmul_dense`] writing into a caller-owned buffer
+    /// (resized as needed; allocation-free when the shape already matches).
+    pub fn matmul_dense_into(&self, dense: &Matrix, out: &mut Matrix) {
         self.spmm_check(dense);
         let cols = dense.cols();
-        let mut out = Matrix::zeros(self.n_rows, cols);
+        out.resize_to(self.n_rows, cols);
         if cols == 0 || self.n_rows == 0 {
-            return out;
+            return;
         }
+        out.as_mut_slice().fill(0.0);
         par_chunks(out.as_mut_slice(), cols, |r, out_row| {
             self.spmm_row_into(r, dense, out_row);
         });
-        out
     }
 
     /// Single-threaded reference implementation of
     /// [`SparseMatrix::matmul_dense`]; kept for equivalence tests and
     /// benchmark baselines.
     pub fn matmul_dense_serial(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_dense_into_serial(dense, &mut out);
+        out
+    }
+
+    /// Single-threaded twin of [`SparseMatrix::matmul_dense_into`].
+    pub fn matmul_dense_into_serial(&self, dense: &Matrix, out: &mut Matrix) {
         self.spmm_check(dense);
         let cols = dense.cols();
-        let mut out = Matrix::zeros(self.n_rows, cols);
-        if cols == 0 {
-            return out;
+        out.resize_to(self.n_rows, cols);
+        if cols == 0 || self.n_rows == 0 {
+            return;
         }
+        out.as_mut_slice().fill(0.0);
         for r in 0..self.n_rows {
             self.spmm_row_into(r, dense, out.row_mut(r));
         }
-        out
     }
 
     /// Transposed sparse × dense product (`selfᵀ * dense`) without building the
     /// transpose explicitly.
     pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_matmul_dense_into(dense, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::transpose_matmul_dense`] writing into a caller-owned
+    /// buffer.  Serial by construction: the scatter over output rows follows
+    /// the CSR layout of `self`, which keeps the accumulation order fixed.
+    pub fn transpose_matmul_dense_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(self.n_rows, dense.rows(), "spmmᵀ dimension mismatch");
         let cols = dense.cols();
-        let mut out = Matrix::zeros(self.n_cols, cols);
+        out.resize_to(self.n_cols, cols);
+        out.as_mut_slice().fill(0.0);
         for r in 0..self.n_rows {
             let d_row = dense.row(r);
             for (c, v) in self.row(r) {
@@ -175,7 +200,6 @@ impl SparseMatrix {
                 }
             }
         }
-        out
     }
 
     /// Converts to a dense matrix (tests / tiny graphs only).
@@ -263,6 +287,36 @@ mod tests {
                 "differs at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_bitwise() {
+        let m = sample();
+        let d = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut buf = Matrix::zeros(7, 7);
+        let want = m.matmul_dense(&d);
+        for threads in [1, 2, 4] {
+            ppfr_linalg::parallel::with_forced_threads(threads, || {
+                m.matmul_dense_into(&d, &mut buf)
+            });
+            assert_eq!(
+                buf.as_slice(),
+                want.as_slice(),
+                "differs at {threads} threads"
+            );
+            assert_eq!(buf.shape(), want.shape());
+        }
+        m.matmul_dense_into_serial(&d, &mut buf);
+        assert_eq!(buf.as_slice(), want.as_slice());
+
+        let want_t = m.transpose_matmul_dense(&d);
+        m.transpose_matmul_dense_into(&d, &mut buf);
+        assert_eq!(buf.as_slice(), want_t.as_slice());
+        assert_eq!(buf.shape(), want_t.shape());
+
+        // Buffer reuse across calls must not leak previous contents.
+        m.matmul_dense_into(&d, &mut buf);
+        assert_eq!(buf.as_slice(), want.as_slice());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The influence engine: per-node influences on utility, bias and risk.
 
 use crate::{
-    bias_grad_wrt_params, conjugate_gradient, hessian_vector_product, node_loss_grad,
-    risk_grad_wrt_params, training_loss_grad,
+    bias_grad_wrt_params, conjugate_gradient, hessian_vector_product_with, node_loss_grad,
+    risk_grad_wrt_params, training_loss_grad, HvpScratch,
 };
 use ppfr_gnn::{AnyModel, GraphContext};
 use ppfr_graph::SparseMatrix;
@@ -51,6 +51,10 @@ pub struct InfluenceSet {
 ///
 /// Uses the adjoint trick: one CG solve for `s_f = (H+λI)⁻¹ ∇_θ f`, then a dot
 /// product with every per-node loss gradient (computed in parallel).
+///
+/// The CG solve runs its Hessian-vector products through one persistent
+/// [`HvpScratch`], so the per-iteration model clones and gradient buffers of
+/// the oracle path are reused instead of reallocated (bit-identical results).
 pub fn influence_on(
     model: &AnyModel,
     ctx: &GraphContext,
@@ -59,8 +63,17 @@ pub fn influence_on(
     grad_f: &[f64],
     cfg: &InfluenceConfig,
 ) -> Vec<f64> {
+    let mut scratch = HvpScratch::new(model);
     let apply = |v: &[f64]| {
-        hessian_vector_product(model, ctx, labels, train_ids, v, cfg.fd_step, cfg.damping)
+        hessian_vector_product_with(
+            &mut scratch,
+            ctx,
+            labels,
+            train_ids,
+            v,
+            cfg.fd_step,
+            cfg.damping,
+        )
     };
     let s_f = conjugate_gradient(apply, grad_f, cfg.cg_iters, cfg.cg_tol);
     par_rows(train_ids.len(), |i| {

@@ -2,10 +2,10 @@
 
 use crate::risk_grad::sq_risk_gradient_wrt_probs;
 use ppfr_fairness::bias_gradient_wrt_probs;
-use ppfr_gnn::{GnnModel, GraphContext};
+use ppfr_gnn::{GnnModel, GraphContext, TrainWorkspace};
 use ppfr_graph::SparseMatrix;
 use ppfr_linalg::{row_softmax, row_softmax_backward};
-use ppfr_nn::weighted_cross_entropy;
+use ppfr_nn::{weighted_cross_entropy, weighted_cross_entropy_into};
 use ppfr_privacy::PairSample;
 
 /// Gradient of the *total* (unit-weight) training loss w.r.t. the parameters,
@@ -22,6 +22,34 @@ pub fn training_loss_grad(
     // weighted_cross_entropy divides by |V_l|; rescale to the paper's sum form.
     let d_logits = ce.d_logits.scale(train_ids.len() as f64);
     model.backward(ctx, &d_logits)
+}
+
+/// [`training_loss_grad`] through a reusable [`TrainWorkspace`]: the gradient
+/// lands in `ws.grads` and no intermediate is allocated once the workspace is
+/// warm.  Bit-identical to the allocating entry point (pinned by the tests in
+/// this crate), which is what lets the conjugate-gradient solver call it once
+/// per Hessian-vector product without churning the allocator.
+pub fn training_loss_grad_ws(
+    model: &dyn GnnModel,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    ws: &mut TrainWorkspace,
+) {
+    model.forward_ws(ctx, ws);
+    ws.ensure_unit_weights(train_ids.len());
+    weighted_cross_entropy_into(
+        &ws.logits,
+        labels,
+        train_ids,
+        &ws.unit_weights,
+        &mut ws.probs,
+        &mut ws.d_logits,
+    );
+    // Rescale to the paper's sum form, mirroring `training_loss_grad`.
+    let n = train_ids.len() as f64;
+    ws.d_logits.map_inplace(|v| v * n);
+    model.backward_ws(ctx, ws);
 }
 
 /// Gradient of the single-node loss `L(ŷ_v, y_v; θ)` w.r.t. the parameters.

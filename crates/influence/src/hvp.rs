@@ -1,8 +1,107 @@
 //! Hessian-vector products and the damped conjugate-gradient solver.
 
-use crate::training_loss_grad;
-use ppfr_gnn::{AnyModel, GnnModel, GraphContext};
+use crate::{training_loss_grad, training_loss_grad_ws};
+use ppfr_gnn::{AnyModel, GnnModel, GraphContext, TrainWorkspace};
 use ppfr_linalg::par_join;
+
+/// One finite-difference side of a Hessian-vector product: a model clone, a
+/// shifted parameter buffer and the training workspace the gradient
+/// evaluation runs through.
+#[derive(Debug, Clone)]
+struct SideScratch {
+    model: AnyModel,
+    shifted: Vec<f64>,
+    ws: TrainWorkspace,
+}
+
+/// Persistent scratch state for repeated Hessian-vector products at a fixed
+/// base point `θ*`: two model/workspace pairs (one per finite-difference
+/// side) reused across every conjugate-gradient iteration, instead of the
+/// two model clones and full gradient re-allocation the oracle
+/// [`hessian_vector_product`] performs per call.
+///
+/// The base parameters are captured at construction; rebuild the scratch if
+/// the model's parameters change.
+#[derive(Debug, Clone)]
+pub struct HvpScratch {
+    theta: Vec<f64>,
+    plus: SideScratch,
+    minus: SideScratch,
+}
+
+impl HvpScratch {
+    /// Captures the model's current parameters as the HVP base point and
+    /// clones the model once per finite-difference side.
+    pub fn new(model: &AnyModel) -> Self {
+        let theta = model.params();
+        let side = || SideScratch {
+            model: model.clone(),
+            shifted: theta.clone(),
+            ws: TrainWorkspace::new(),
+        };
+        Self {
+            plus: side(),
+            minus: side(),
+            theta,
+        }
+    }
+
+    /// Re-captures the base point from `model`, keeping the training
+    /// workspaces warm.  Call this instead of [`HvpScratch::new`] when
+    /// reusing a scratch after the model changed — e.g. interleaving
+    /// fine-tuning steps with influence estimation.  The side models are
+    /// re-cloned wholesale so *all* model state follows, not just the
+    /// parameters (a sampling-enabled GraphSAGE carries its current sampled
+    /// aggregation operator, which `set_params` alone would leave stale).
+    pub fn reset(&mut self, model: &AnyModel) {
+        self.theta.clear();
+        self.theta.extend(model.params());
+        for side in [&mut self.plus, &mut self.minus] {
+            side.model = model.clone();
+            side.shifted.resize(self.theta.len(), 0.0);
+        }
+    }
+}
+
+/// [`hessian_vector_product`] through a persistent [`HvpScratch`]:
+/// bit-identical to the oracle (pinned by this crate's tests) but reuses the
+/// scratch models, shifted-parameter buffers and training workspaces across
+/// calls, so a conjugate-gradient solve allocates only its result vectors.
+pub fn hessian_vector_product_with(
+    scratch: &mut HvpScratch,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    v: &[f64],
+    fd_step: f64,
+    damping: f64,
+) -> Vec<f64> {
+    let n_train = train_ids.len().max(1) as f64;
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm <= f64::EPSILON {
+        return vec![0.0; v.len()];
+    }
+    let eps = fd_step / norm;
+    let HvpScratch { theta, plus, minus } = scratch;
+
+    let grad_side = |side: &mut SideScratch, direction: f64| {
+        side.shifted.copy_from_slice(theta);
+        for (p, &vi) in side.shifted.iter_mut().zip(v) {
+            *p += direction * eps * vi;
+        }
+        side.model.set_params(&side.shifted);
+        training_loss_grad_ws(&side.model, ctx, labels, train_ids, &mut side.ws);
+    };
+    par_join(|| grad_side(plus, 1.0), || grad_side(minus, -1.0));
+
+    plus.ws
+        .grads
+        .iter()
+        .zip(minus.ws.grads.iter())
+        .zip(v.iter())
+        .map(|((&gp, &gm), &vi)| (gp - gm) / (2.0 * eps * n_train) + damping * vi)
+        .collect()
+}
 
 /// Hessian-vector product `(H + damping·I) v` where `H` is the Hessian of the
 /// *mean* training loss at the model's current parameters.
@@ -53,7 +152,7 @@ pub fn hessian_vector_product(
 /// the closure `apply` (assumed symmetric positive definite — guaranteed here
 /// by the damping term).  Returns the approximate solution.
 pub fn conjugate_gradient(
-    apply: impl Fn(&[f64]) -> Vec<f64>,
+    mut apply: impl FnMut(&[f64]) -> Vec<f64>,
     b: &[f64],
     max_iters: usize,
     tol: f64,
@@ -182,6 +281,120 @@ mod tests {
         let single = hvp_at(1);
         for threads in [2, 4] {
             assert_eq!(hvp_at(threads), single, "HVP differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn scratch_hvp_is_bit_identical_to_oracle_and_reusable() {
+        let ds = generate(&two_block_synthetic(), 14);
+        let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+        for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::GraphSage] {
+            let model = AnyModel::new(kind, ctx.feat_dim(), 4, ds.n_classes, 6);
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut scratch = super::HvpScratch::new(&model);
+            // Several successive products through the same scratch (as in a
+            // CG solve) must each equal the allocating oracle exactly.
+            for round in 0..3 {
+                let v: Vec<f64> = (0..model.n_params())
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                let oracle = hessian_vector_product(
+                    &model,
+                    &ctx,
+                    &ds.labels,
+                    &ds.splits.train,
+                    &v,
+                    1e-4,
+                    0.1,
+                );
+                let fast = super::hessian_vector_product_with(
+                    &mut scratch,
+                    &ctx,
+                    &ds.labels,
+                    &ds.splits.train,
+                    &v,
+                    1e-4,
+                    0.1,
+                );
+                assert_eq!(fast, oracle, "round {round} diverges for {:?}", kind);
+            }
+            // reset() re-captures a changed base point without rebuilding.
+            let mut moved = model.clone();
+            let bumped: Vec<f64> = model.params().iter().map(|p| p + 0.01).collect();
+            moved.set_params(&bumped);
+            scratch.reset(&moved);
+            let v = vec![0.5; model.n_params()];
+            let oracle =
+                hessian_vector_product(&moved, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.1);
+            let fast = super::hessian_vector_product_with(
+                &mut scratch,
+                &ctx,
+                &ds.labels,
+                &ds.splits.train,
+                &v,
+                1e-4,
+                0.1,
+            );
+            assert_eq!(fast, oracle, "post-reset HVP diverges for {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn reset_carries_non_parameter_state_of_a_sampling_graphsage() {
+        use ppfr_gnn::GraphSage;
+        let ds = generate(&two_block_synthetic(), 14);
+        let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = AnyModel::GraphSage(
+            GraphSage::new(ctx.feat_dim(), 4, ds.n_classes, &mut rng).with_sampling(2),
+        );
+        model.resample(&ctx, 40);
+        let mut scratch = super::HvpScratch::new(&model);
+        // Change *non-parameter* state (the sampled aggregation operator):
+        // reset() must pick it up, not just the parameter vector.
+        model.resample(&ctx, 41);
+        scratch.reset(&model);
+        let v = vec![0.3; model.n_params()];
+        let oracle =
+            hessian_vector_product(&model, &ctx, &ds.labels, &ds.splits.train, &v, 1e-4, 0.1);
+        let fast = super::hessian_vector_product_with(
+            &mut scratch,
+            &ctx,
+            &ds.labels,
+            &ds.splits.train,
+            &v,
+            1e-4,
+            0.1,
+        );
+        assert_eq!(fast, oracle, "reset missed the resampled aggregator");
+    }
+
+    #[test]
+    fn scratch_hvp_is_identical_across_thread_counts() {
+        let ds = generate(&two_block_synthetic(), 14);
+        let ctx = GraphContext::new(ds.graph.clone(), ds.features.clone());
+        let model = AnyModel::new(ModelKind::Gcn, ctx.feat_dim(), 4, ds.n_classes, 6);
+        let mut rng = StdRng::seed_from_u64(15);
+        let v: Vec<f64> = (0..model.n_params())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let hvp_at = |threads: usize| {
+            ppfr_linalg::parallel::with_forced_threads(threads, || {
+                let mut scratch = super::HvpScratch::new(&model);
+                super::hessian_vector_product_with(
+                    &mut scratch,
+                    &ctx,
+                    &ds.labels,
+                    &ds.splits.train,
+                    &v,
+                    1e-4,
+                    0.1,
+                )
+            })
+        };
+        let single = hvp_at(1);
+        for threads in [2, 4] {
+            assert_eq!(hvp_at(threads), single, "differs at {threads} threads");
         }
     }
 

@@ -14,10 +14,11 @@ mod stats;
 
 pub use matrix::Matrix;
 pub use ops::{
-    leaky_relu, leaky_relu_grad, relu, relu_grad, row_softmax, row_softmax_backward,
+    leaky_relu, leaky_relu_grad, relu, relu_grad, relu_grad_into, relu_into, row_softmax,
+    row_softmax_backward, row_softmax_backward_into, row_softmax_into, row_softmax_into_serial,
     row_softmax_serial,
 };
-pub use parallel::{par_chunks, par_join, par_rows};
+pub use parallel::{par_chunks, par_fill, par_join, par_row_blocks, par_rows};
 pub use stats::{mean, pearson, std_dev, variance};
 
 /// Numerical tolerance used by tests and iterative solvers in downstream

@@ -1,10 +1,16 @@
 //! A small row-major dense matrix of `f64`.
 
-use crate::parallel::par_chunks;
+use crate::parallel::{par_chunks, par_row_blocks};
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Output rows per block in the cache-blocked `Aᵀ·B` kernel: one block shares
+/// a single sweep over the packed rows of `B`.  A fixed constant (never
+/// derived from the thread count) so results are identical across forced
+/// `PPFR_NUM_THREADS`.
+const AT_B_BLOCK_ROWS: usize = 8;
 
 /// Row-major dense matrix of `f64`.
 ///
@@ -164,7 +170,44 @@ impl Matrix {
 
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        let mut out = vec![0.0; self.rows];
+        self.col_into(c, &mut out);
+        out
+    }
+
+    /// Writes column `c` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != rows` or `c` is out of bounds.
+    pub fn col_into(&self, c: usize, out: &mut [f64]) {
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds for {} cols",
+            self.cols
+        );
+        assert_eq!(out.len(), self.rows, "column buffer length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cols + c];
+        }
+    }
+
+    /// Reshapes the matrix to `rows × cols`, reallocating only when the new
+    /// element count exceeds the current capacity.  Existing contents are
+    /// unspecified afterwards — every `*_into` kernel fully overwrites its
+    /// output, so workspace buffers can be resized freely.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        if self.rows == rows && self.cols == cols {
+            return;
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with the shape and contents of `other`.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize_to(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Matrix transpose.
@@ -178,9 +221,15 @@ impl Matrix {
         out
     }
 
-    /// One output row of the dense product: `out_row += a_row * other`.
-    /// Shared by the parallel and serial matmul so both produce bit-identical
-    /// results.
+    /// One output row of the dense product: `out_row += a_row * other`, with a
+    /// sparse fast path that skips zero coefficients.  Shared by the parallel
+    /// and serial matmul so both produce bit-identical results.
+    ///
+    /// The zero-skip is only valid when every row of `other` reachable from a
+    /// zero coefficient is finite (`0 × NaN = NaN`, `0 × ∞ = NaN` under
+    /// IEEE-754); the entry points dispatch to
+    /// [`Matrix::matmul_row_into_exact`] when `other` contains non-finite
+    /// values.
     #[inline]
     fn matmul_row_into(a_row: &[f64], other: &Matrix, out_row: &mut [f64]) {
         for (k, &a) in a_row.iter().enumerate() {
@@ -191,6 +240,28 @@ impl Matrix {
             for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a * b;
             }
+        }
+    }
+
+    /// IEEE-exact variant of [`Matrix::matmul_row_into`]: no zero-skip, so
+    /// products with non-finite operands follow the mathematical result
+    /// (`0 × NaN` and `0 × ∞` contribute NaN instead of silently vanishing).
+    #[inline]
+    fn matmul_row_into_exact(a_row: &[f64], other: &Matrix, out_row: &mut [f64]) {
+        for (k, &a) in a_row.iter().enumerate() {
+            let b_row = other.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
+
+    #[inline]
+    fn matmul_row_dispatch(a_row: &[f64], other: &Matrix, exact: bool, out_row: &mut [f64]) {
+        if exact {
+            Self::matmul_row_into_exact(a_row, other, out_row);
+        } else {
+            Self::matmul_row_into(a_row, other, out_row);
         }
     }
 
@@ -205,30 +276,199 @@ impl Matrix {
     /// Dense matrix product `self * other`, parallelised over output rows via
     /// the shared [`crate::parallel`] idiom.
     ///
+    /// Non-finite operands follow IEEE-754 semantics: the sparse zero-skip
+    /// fast path is only taken when `other` is entirely finite, so `0 × NaN`
+    /// and `0 × ∞` propagate NaN into the product.
+    ///
     /// # Panics
     /// Panics when inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        self.matmul_check(other);
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        if out.data.is_empty() {
-            return out;
-        }
-        let oc = other.cols;
-        par_chunks(&mut out.data, oc, |r, out_row| {
-            Self::matmul_row_into(self.row(r), other, out_row);
-        });
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
         out
     }
 
     /// Single-threaded reference implementation of [`Matrix::matmul`]; kept
     /// for equivalence tests and benchmark baselines.
     pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
-        self.matmul_check(other);
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            Self::matmul_row_into(self.row(r), other, out.row_mut(r));
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into_serial(other, &mut out);
         out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output buffer (resized
+    /// as needed; allocation-free when the shape already matches).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_check(other);
+        out.resize_to(self.rows, other.cols);
+        if out.data.is_empty() {
+            return;
+        }
+        out.data.fill(0.0);
+        let exact = other.has_non_finite();
+        let oc = other.cols;
+        par_chunks(&mut out.data, oc, |r, out_row| {
+            Self::matmul_row_dispatch(self.row(r), other, exact, out_row);
+        });
+    }
+
+    /// Single-threaded twin of [`Matrix::matmul_into`].
+    pub fn matmul_into_serial(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_check(other);
+        out.resize_to(self.rows, other.cols);
+        if out.data.is_empty() {
+            return;
+        }
+        out.data.fill(0.0);
+        let exact = other.has_non_finite();
+        for r in 0..self.rows {
+            Self::matmul_row_dispatch(self.row(r), other, exact, out.row_mut(r));
+        }
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// Bit-identical to `self.transpose().matmul(other)`: each output element
+    /// accumulates its terms in the same order with the same zero-skip (and
+    /// the same IEEE-exact fallback when `other` contains non-finite values).
+    ///
+    /// # Panics
+    /// Panics when `self.rows() != other.rows()`.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_at_b_into(other, &mut out);
+        out
+    }
+
+    fn at_b_check(&self, other: &Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at_b dimension mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+    }
+
+    /// One cache block of the `Aᵀ·B` product: `block` holds whole output rows
+    /// starting at `first_row` (its length is always a multiple of `n`), and
+    /// the whole block shares one sweep over the packed rows of `other`.  Per
+    /// output element the accumulation order (ascending `i`, zero-skip on
+    /// `self[(i, k)]`) is independent of the blocking, so any block size
+    /// gives bit-identical results.
+    #[inline]
+    fn at_b_block(&self, other: &Matrix, exact: bool, first_row: usize, block: &mut [f64]) {
+        let n = other.cols;
+        block.fill(0.0);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (r, out_row) in block.chunks_mut(n).enumerate() {
+                let coeff = a_row[first_row + r];
+                if !exact && coeff == 0.0 {
+                    continue;
+                }
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += coeff * b;
+                }
+            }
+        }
+    }
+
+    /// [`Matrix::matmul_at_b`] writing into a caller-owned buffer, cache
+    /// blocked over [`AT_B_BLOCK_ROWS`] output rows and parallelised over
+    /// blocks.
+    pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.at_b_check(other);
+        out.resize_to(self.cols, other.cols);
+        if out.data.is_empty() {
+            return;
+        }
+        let exact = other.has_non_finite();
+        let n = other.cols;
+        par_row_blocks(&mut out.data, n, AT_B_BLOCK_ROWS, |first_row, block| {
+            self.at_b_block(other, exact, first_row, block);
+        });
+    }
+
+    /// Single-threaded twin of [`Matrix::matmul_at_b_into`].
+    pub fn matmul_at_b_into_serial(&self, other: &Matrix, out: &mut Matrix) {
+        self.at_b_check(other);
+        out.resize_to(self.cols, other.cols);
+        if out.data.is_empty() {
+            return;
+        }
+        let exact = other.has_non_finite();
+        let n = other.cols;
+        let block_len = AT_B_BLOCK_ROWS * n;
+        for (b, block) in out.data.chunks_mut(block_len).enumerate() {
+            self.at_b_block(other, exact, b * AT_B_BLOCK_ROWS, block);
+        }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// Bit-identical to `self.matmul(&other.transpose())`: each output element
+    /// is a dot product over ascending `k` with the same zero-skip on
+    /// `self[(i, k)]` (and the same IEEE-exact fallback when `other` contains
+    /// non-finite values), and both rows are read packed.
+    ///
+    /// # Panics
+    /// Panics when `self.cols() != other.cols()`.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_a_bt_into(other, &mut out);
+        out
+    }
+
+    fn a_bt_check(&self, other: &Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_a_bt dimension mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+    }
+
+    /// One output row of the `A·Bᵀ` product: a packed dot product per column.
+    #[inline]
+    fn a_bt_row(a_row: &[f64], other: &Matrix, exact: bool, out_row: &mut [f64]) {
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = other.row(j);
+            let mut acc = 0.0;
+            for (k, &a) in a_row.iter().enumerate() {
+                if !exact && a == 0.0 {
+                    continue;
+                }
+                acc += a * b_row[k];
+            }
+            *o = acc;
+        }
+    }
+
+    /// [`Matrix::matmul_a_bt`] writing into a caller-owned buffer,
+    /// parallelised over output rows.
+    pub fn matmul_a_bt_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.a_bt_check(other);
+        out.resize_to(self.rows, other.rows);
+        if out.data.is_empty() {
+            return;
+        }
+        let exact = other.has_non_finite();
+        let n = other.rows;
+        par_chunks(&mut out.data, n, |r, out_row| {
+            Self::a_bt_row(self.row(r), other, exact, out_row);
+        });
+    }
+
+    /// Single-threaded twin of [`Matrix::matmul_a_bt_into`].
+    pub fn matmul_a_bt_into_serial(&self, other: &Matrix, out: &mut Matrix) {
+        self.a_bt_check(other);
+        out.resize_to(self.rows, other.rows);
+        if out.data.is_empty() {
+            return;
+        }
+        let exact = other.has_non_finite();
+        for r in 0..self.rows {
+            Self::a_bt_row(self.row(r), other, exact, out.row_mut(r));
+        }
     }
 
     /// Element-wise addition.
@@ -248,17 +488,39 @@ impl Matrix {
 
     /// Element-wise combination with a closure.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.zip_into(other, &mut out, f);
+        out
+    }
+
+    /// [`Matrix::zip_with`] writing into a caller-owned buffer (resized as
+    /// needed; allocation-free when the shape already matches).
+    pub fn zip_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f64, f64) -> f64) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        let data = self
+        out.resize_to(self.rows, self.cols);
+        for ((o, &a), &b) in out
             .data
-            .iter()
+            .iter_mut()
+            .zip(self.data.iter())
             .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
+        {
+            *o = f(a, b);
+        }
+    }
+
+    /// [`Matrix::map`] writing into a caller-owned buffer.
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f64) -> f64) {
+        out.resize_to(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
+        }
+    }
+
+    /// `self += other` without allocating.
+    pub fn add_inplace(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
         }
     }
 
@@ -293,14 +555,20 @@ impl Matrix {
 
     /// Adds `row` (length `cols`) to every row of the matrix (bias add).
     pub fn add_row_broadcast(&self, row: &[f64]) -> Matrix {
-        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for (v, &b) in out.row_mut(r).iter_mut().zip(row.iter()) {
+        out.add_row_broadcast_inplace(row);
+        out
+    }
+
+    /// In-place variant of [`Matrix::add_row_broadcast`] for hot paths that
+    /// already own a temporary (e.g. a bias add right after a matmul).
+    pub fn add_row_broadcast_inplace(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(row.iter()) {
                 *v += b;
             }
         }
-        out
     }
 
     /// Sum of every element.
@@ -355,6 +623,14 @@ impl Matrix {
     /// Returns `true` when any entry is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the initial state of reusable workspace
+    /// buffers, which the `*_into` kernels resize on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -478,5 +754,151 @@ mod tests {
         assert!(!a.has_non_finite());
         a[(0, 1)] = f64::NAN;
         assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_through_zero_coefficients() {
+        // Row [0, 1] times a B whose first row is non-finite: the mathematical
+        // result is 0·NaN + 1·b = NaN, which the zero-skip fast path used to
+        // silently turn into b.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let b = Matrix::from_rows(&[vec![bad, bad], vec![2.0, 3.0]]);
+            for product in [a.matmul(&b), a.matmul_serial(&b)] {
+                assert!(
+                    product.as_slice().iter().all(|v| v.is_nan()),
+                    "0 × {bad} must contribute NaN, got {:?}",
+                    product.as_slice()
+                );
+            }
+            let at_b = Matrix::from_rows(&[vec![0.0], vec![1.0]]).matmul_at_b(&b);
+            assert!(at_b.as_slice().iter().all(|v| v.is_nan()));
+            let a_bt = a.matmul_a_bt(&b.transpose());
+            assert!(a_bt.as_slice().iter().all(|v| v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn matmul_finite_inputs_still_use_the_sparse_skip_consistently() {
+        // Dense product with many zero coefficients: parallel, serial and
+        // into-variants must agree bitwise.
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut a = Matrix::gaussian(9, 7, 0.0, 1.0, &mut rng);
+        a.map_inplace(|v| if v < 0.0 { 0.0 } else { v });
+        let b = Matrix::gaussian(7, 5, 0.0, 1.0, &mut rng);
+        let reference = a.matmul_serial(&b);
+        let mut buf = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut buf);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+        a.matmul_into_serial(&b, &mut buf);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (m, k, n) in [(1, 1, 1), (5, 3, 7), (17, 9, 4), (33, 20, 6)] {
+            let mut a = Matrix::gaussian(m, k, 0.0, 1.0, &mut rng);
+            // ReLU-like sparsity so the zero-skip actually fires.
+            a.map_inplace(|v| if v < 0.3 { 0.0 } else { v });
+            let b = Matrix::gaussian(m, n, 0.0, 1.0, &mut rng);
+            let reference = a.transpose().matmul_serial(&b);
+            for threads in [1, 3, 4] {
+                let fast = crate::parallel::with_forced_threads(threads, || a.matmul_at_b(&b));
+                assert_eq!(
+                    fast.as_slice(),
+                    reference.as_slice(),
+                    "({m}x{k})ᵀ*{m}x{n} differs at {threads} threads"
+                );
+            }
+            let mut serial = Matrix::zeros(0, 0);
+            a.matmul_at_b_into_serial(&b, &mut serial);
+            assert_eq!(serial.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose_bitwise() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for (m, k, n) in [(1, 1, 1), (5, 3, 7), (17, 9, 4), (12, 20, 33)] {
+            let mut a = Matrix::gaussian(m, k, 0.0, 1.0, &mut rng);
+            a.map_inplace(|v| if v < 0.3 { 0.0 } else { v });
+            let b = Matrix::gaussian(n, k, 0.0, 1.0, &mut rng);
+            let reference = a.matmul_serial(&b.transpose());
+            for threads in [1, 3, 4] {
+                let fast = crate::parallel::with_forced_threads(threads, || a.matmul_a_bt(&b));
+                assert_eq!(
+                    fast.as_slice(),
+                    reference.as_slice(),
+                    "{m}x{k}*({n}x{k})ᵀ differs at {threads} threads"
+                );
+            }
+            let mut serial = Matrix::zeros(0, 0);
+            a.matmul_a_bt_into_serial(&b, &mut serial);
+            assert_eq!(serial.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn into_kernels_handle_degenerate_shapes() {
+        let empty_rows = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut out = Matrix::zeros(5, 5);
+        empty_rows.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (0, 2));
+        // (0×3)ᵀ · (0×2): a sum over zero rows must yield an all-zero 3×2.
+        empty_rows.matmul_at_b_into(&Matrix::zeros(0, 2), &mut out);
+        assert_eq!(out.shape(), (3, 2));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let row_vec = Matrix::zeros(1, 3);
+        row_vec.matmul_a_bt_into(&Matrix::zeros(4, 3), &mut out);
+        assert_eq!(out.shape(), (1, 4));
+    }
+
+    #[test]
+    fn col_into_matches_col_without_allocating_per_call() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut buf = vec![0.0; 3];
+        for c in 0..2 {
+            a.col_into(c, &mut buf);
+            assert_eq!(buf, a.col(c));
+        }
+    }
+
+    #[test]
+    fn add_row_broadcast_inplace_matches_allocating_version() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let bias = [0.5, -1.5];
+        let want = a.add_row_broadcast(&bias);
+        let mut got = a.clone();
+        got.add_row_broadcast_inplace(&bias);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn zip_into_and_map_into_match_allocating_versions() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, 2.0], vec![-1.0, 0.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        a.zip_into(&b, &mut out, |x, y| x * y + 1.0);
+        assert_eq!(
+            out.as_slice(),
+            a.zip_with(&b, |x, y| x * y + 1.0).as_slice()
+        );
+        a.map_into(&mut out, |x| x.abs());
+        assert_eq!(out.as_slice(), a.map(|x| x.abs()).as_slice());
+        let mut sum = a.clone();
+        sum.add_inplace(&b);
+        assert_eq!(sum.as_slice(), a.add(&b).as_slice());
+    }
+
+    #[test]
+    fn resize_to_reuses_capacity_and_copy_from_round_trips() {
+        let mut m = Matrix::zeros(4, 4);
+        m.resize_to(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        let src = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 }

@@ -8,9 +8,20 @@ pub fn relu(m: &Matrix) -> Matrix {
     m.map(|v| if v > 0.0 { v } else { 0.0 })
 }
 
+/// [`relu`] writing into a caller-owned buffer (resized as needed;
+/// allocation-free when the shape already matches).
+pub fn relu_into(m: &Matrix, out: &mut Matrix) {
+    m.map_into(out, |v| if v > 0.0 { v } else { 0.0 });
+}
+
 /// Gradient mask of ReLU evaluated at the pre-activation `pre`.
 pub fn relu_grad(pre: &Matrix, upstream: &Matrix) -> Matrix {
     pre.zip_with(upstream, |p, u| if p > 0.0 { u } else { 0.0 })
+}
+
+/// [`relu_grad`] writing into a caller-owned buffer.
+pub fn relu_grad_into(pre: &Matrix, upstream: &Matrix, out: &mut Matrix) {
+    pre.zip_into(upstream, out, |p, u| if p > 0.0 { u } else { 0.0 });
 }
 
 /// Leaky ReLU with negative slope `alpha` (GAT uses `alpha = 0.2`).
@@ -70,16 +81,42 @@ pub fn row_softmax_serial(logits: &Matrix) -> Matrix {
     out
 }
 
+/// [`row_softmax`] writing into a caller-owned buffer (resized as needed;
+/// allocation-free when the shape already matches).
+pub fn row_softmax_into(logits: &Matrix, out: &mut Matrix) {
+    out.copy_from(logits);
+    let cols = out.cols();
+    if cols == 0 || out.rows() == 0 {
+        return;
+    }
+    par_chunks(out.as_mut_slice(), cols, |_, row| softmax_row_inplace(row));
+}
+
+/// Single-threaded twin of [`row_softmax_into`].
+pub fn row_softmax_into_serial(logits: &Matrix, out: &mut Matrix) {
+    out.copy_from(logits);
+    for r in 0..out.rows() {
+        softmax_row_inplace(out.row_mut(r));
+    }
+}
+
 /// Back-propagates a gradient w.r.t. softmax probabilities `d_probs` to a
 /// gradient w.r.t. the logits, given the probabilities `probs` themselves.
 ///
 /// For each row: `dZ_c = P_c * (dP_c - sum_k dP_k * P_k)`.
 pub fn row_softmax_backward(probs: &Matrix, d_probs: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    row_softmax_backward_into(probs, d_probs, &mut out);
+    out
+}
+
+/// [`row_softmax_backward`] writing into a caller-owned buffer.
+pub fn row_softmax_backward_into(probs: &Matrix, d_probs: &Matrix, out: &mut Matrix) {
     assert_eq!(probs.shape(), d_probs.shape(), "shape mismatch");
-    let mut out = Matrix::zeros(probs.rows(), probs.cols());
+    out.resize_to(probs.rows(), probs.cols());
     let cols = probs.cols();
     if cols == 0 || probs.rows() == 0 {
-        return out;
+        return;
     }
     par_chunks(out.as_mut_slice(), cols, |r, out_row| {
         let p = probs.row(r);
@@ -89,7 +126,6 @@ pub fn row_softmax_backward(probs: &Matrix, d_probs: &Matrix) -> Matrix {
             *o = p[c] * (dp[c] - inner);
         }
     });
-    out
 }
 
 #[cfg(test)]
@@ -157,6 +193,36 @@ mod tests {
                 "differs at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_bitwise() {
+        let m = Matrix::from_rows(&[vec![-1.0, 2.0, 0.0], vec![3.0, -0.5, 1.5]]);
+        let up = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut buf = Matrix::zeros(0, 0);
+
+        relu_into(&m, &mut buf);
+        assert_eq!(buf.as_slice(), relu(&m).as_slice());
+
+        relu_grad_into(&m, &up, &mut buf);
+        assert_eq!(buf.as_slice(), relu_grad(&m, &up).as_slice());
+
+        let reference = row_softmax_serial(&m);
+        for threads in [1, 2, 4] {
+            crate::parallel::with_forced_threads(threads, || row_softmax_into(&m, &mut buf));
+            assert_eq!(
+                buf.as_slice(),
+                reference.as_slice(),
+                "row_softmax_into differs at {threads} threads"
+            );
+        }
+        row_softmax_into_serial(&m, &mut buf);
+        assert_eq!(buf.as_slice(), reference.as_slice());
+
+        let probs = row_softmax(&m);
+        let want = row_softmax_backward(&probs, &up);
+        row_softmax_backward_into(&probs, &up, &mut buf);
+        assert_eq!(buf.as_slice(), want.as_slice());
     }
 
     #[test]

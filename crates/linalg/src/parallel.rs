@@ -24,6 +24,12 @@ use rayon::prelude::*;
 /// Splits `data` into consecutive `chunk_len`-sized mutable chunks (matrix
 /// rows, typically) and applies `f(chunk_index, chunk)` to each in parallel.
 ///
+/// At one worker thread the chunks are visited by a plain loop, bypassing the
+/// combinator layer entirely: the vendored shim materialises its chunk list
+/// per call, and the training hot loop calls this helper several times per
+/// epoch, so the single-thread path must stay allocation-free.  Chunk results
+/// are independent, so both paths are bit-identical.
+///
 /// # Panics
 /// Panics when `chunk_len` is zero or does not divide `data.len()`.
 pub fn par_chunks(data: &mut [f64], chunk_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
@@ -35,9 +41,69 @@ pub fn par_chunks(data: &mut [f64], chunk_len: usize, f: impl Fn(usize, &mut [f6
         data.len(),
         chunk_len
     );
+    if current_num_threads() <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
     data.par_chunks_mut(chunk_len)
         .enumerate()
         .for_each(|(i, chunk)| f(i, chunk));
+}
+
+/// Splits `data` into blocks of `rows_per_block` consecutive `row_len`-sized
+/// rows (the final block may be shorter) and applies
+/// `f(first_row_index, block)` to each in parallel.
+///
+/// Used by the cache-blocked transpose-free GEMM kernels: one block of output
+/// rows shares a single sweep over the packed right-hand operand.  The block
+/// size is a fixed constant chosen by the caller — never derived from the
+/// worker-thread count — so results are bit-identical across forced
+/// `PPFR_NUM_THREADS`.
+///
+/// # Panics
+/// Panics when `row_len` or `rows_per_block` is zero, or `row_len` does not
+/// divide `data.len()`.
+pub fn par_row_blocks(
+    data: &mut [f64],
+    row_len: usize,
+    rows_per_block: usize,
+    f: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    assert!(row_len > 0, "row length must be positive");
+    assert!(rows_per_block > 0, "block height must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer of {} does not split into {}-element rows",
+        data.len(),
+        row_len
+    );
+    let block_len = rows_per_block * row_len;
+    if current_num_threads() <= 1 {
+        for (b, block) in data.chunks_mut(block_len).enumerate() {
+            f(b * rows_per_block, block);
+        }
+        return;
+    }
+    data.par_chunks_mut(block_len)
+        .enumerate()
+        .for_each(|(b, block)| f(b * rows_per_block, block));
+}
+
+/// Fills `out[i] = f(i)` for every index in parallel (per-node scalar
+/// projections, e.g. the GAT attention scores).  Single-thread calls use a
+/// plain allocation-free loop; results are independent per element, so both
+/// paths are bit-identical.
+pub fn par_fill(out: &mut [f64], f: impl Fn(usize) -> f64 + Sync) {
+    if current_num_threads() <= 1 {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+        return;
+    }
+    out.par_iter_mut().enumerate().for_each(|(i, o)| *o = f(i));
 }
 
 /// Computes `f(row)` for every `row in 0..n_rows` in parallel and returns the
@@ -108,6 +174,48 @@ mod tests {
     fn par_chunks_rejects_ragged_buffers() {
         let mut data = vec![0.0; 10];
         par_chunks(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn par_row_blocks_covers_ragged_tails_identically() {
+        // 10 rows of 3 elements in blocks of 4 rows: blocks of 4, 4, 2 rows.
+        let serial = {
+            let mut data = vec![0.0; 30];
+            with_forced_threads(1, || {
+                par_row_blocks(&mut data, 3, 4, |first_row, block| {
+                    for (r, row) in block.chunks_mut(3).enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            *v = ((first_row + r) * 10 + c) as f64;
+                        }
+                    }
+                });
+            });
+            data
+        };
+        for threads in [2, 4] {
+            let mut data = vec![0.0; 30];
+            with_forced_threads(threads, || {
+                par_row_blocks(&mut data, 3, 4, |first_row, block| {
+                    for (r, row) in block.chunks_mut(3).enumerate() {
+                        for (c, v) in row.iter_mut().enumerate() {
+                            *v = ((first_row + r) * 10 + c) as f64;
+                        }
+                    }
+                });
+            });
+            assert_eq!(data, serial, "differs at {threads} threads");
+        }
+        assert_eq!(serial[29], 92.0, "last row/col is row 9 col 2");
+    }
+
+    #[test]
+    fn par_fill_matches_serial_loop() {
+        let serial: Vec<f64> = (0..57).map(|i| (i as f64).cos()).collect();
+        for threads in [1, 2, 4] {
+            let mut out = vec![0.0; 57];
+            with_forced_threads(threads, || par_fill(&mut out, |i| (i as f64).cos()));
+            assert_eq!(out, serial, "differs at {threads} threads");
+        }
     }
 
     #[test]

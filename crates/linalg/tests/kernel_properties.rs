@@ -1,0 +1,142 @@
+//! Property-based equivalence suite for the in-place / transpose-free GEMM
+//! kernels: every fast path must be **bit-identical** to its allocating
+//! oracle (`transpose()` + `matmul`) across arbitrary shapes — including
+//! empty, `1×N` and `N×1` matrices — and across forced worker-thread counts.
+
+use ppfr_linalg::parallel::with_forced_threads;
+use ppfr_linalg::{
+    relu, relu_grad, relu_grad_into, relu_into, row_softmax, row_softmax_backward,
+    row_softmax_backward_into, row_softmax_into, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with finite entries and ReLU-like
+/// sparsity (zeros are common, so the sparse fast paths actually fire).
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, rows * cols).prop_map(move |mut data| {
+        for v in &mut data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    })
+}
+
+/// Strategy: an `m×k` / `k×n` matmul pair, dimensions down to zero.
+fn arb_mk_kn() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..12, 0usize..12, 0usize..12)
+        .prop_flat_map(|(m, k, n)| (arb_matrix(m, k), arb_matrix(k, n)))
+}
+
+/// Strategy: an `m×k` / `m×n` pair for `Aᵀ·B`.
+fn arb_mk_mn() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..12, 0usize..12, 0usize..12)
+        .prop_flat_map(|(m, k, n)| (arb_matrix(m, k), arb_matrix(m, n)))
+}
+
+/// Strategy: an `m×k` / `n×k` pair for `A·Bᵀ`.
+fn arb_mk_nk() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..12, 0usize..12, 0usize..12)
+        .prop_flat_map(|(m, k, n)| (arb_matrix(m, k), arb_matrix(n, k)))
+}
+
+/// Strategy: two same-shaped matrices.
+fn arb_same_shape(min_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (min_dim..8usize, min_dim..8usize).prop_flat_map(|(r, c)| (arb_matrix(r, c), arb_matrix(r, c)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_into_matches_serial_oracle(pair in arb_mk_kn()) {
+        let (a, b) = pair;
+        let oracle = a.matmul_serial(&b);
+        let mut out = Matrix::zeros(3, 3);
+        for threads in [1, 4] {
+            with_forced_threads(threads, || a.matmul_into(&b, &mut out));
+            prop_assert_eq!(out.as_slice(), oracle.as_slice());
+            prop_assert_eq!(out.shape(), oracle.shape());
+        }
+        a.matmul_into_serial(&b, &mut out);
+        prop_assert_eq!(out.as_slice(), oracle.as_slice());
+    }
+
+    #[test]
+    fn matmul_at_b_matches_transpose_oracle(pair in arb_mk_mn()) {
+        let (a, b) = pair;
+        let oracle = a.transpose().matmul_serial(&b);
+        let mut out = Matrix::zeros(1, 1);
+        for threads in [1, 4] {
+            with_forced_threads(threads, || a.matmul_at_b_into(&b, &mut out));
+            prop_assert_eq!(out.as_slice(), oracle.as_slice());
+            prop_assert_eq!(out.shape(), oracle.shape());
+        }
+        a.matmul_at_b_into_serial(&b, &mut out);
+        prop_assert_eq!(out.as_slice(), oracle.as_slice());
+        prop_assert_eq!(a.matmul_at_b(&b).as_slice(), oracle.as_slice());
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_transpose_oracle(pair in arb_mk_nk()) {
+        let (a, b) = pair;
+        let oracle = a.matmul_serial(&b.transpose());
+        let mut out = Matrix::zeros(1, 1);
+        for threads in [1, 4] {
+            with_forced_threads(threads, || a.matmul_a_bt_into(&b, &mut out));
+            prop_assert_eq!(out.as_slice(), oracle.as_slice());
+            prop_assert_eq!(out.shape(), oracle.shape());
+        }
+        a.matmul_a_bt_into_serial(&b, &mut out);
+        prop_assert_eq!(out.as_slice(), oracle.as_slice());
+        prop_assert_eq!(a.matmul_a_bt(&b).as_slice(), oracle.as_slice());
+    }
+
+    #[test]
+    fn elementwise_into_kernels_match_oracles(pair in arb_same_shape(0)) {
+        let (pre, up) = pair;
+        let mut out = Matrix::zeros(2, 2);
+
+        relu_into(&pre, &mut out);
+        prop_assert_eq!(out.as_slice(), relu(&pre).as_slice());
+
+        relu_grad_into(&pre, &up, &mut out);
+        prop_assert_eq!(out.as_slice(), relu_grad(&pre, &up).as_slice());
+
+        let oracle = row_softmax(&pre);
+        for threads in [1, 4] {
+            with_forced_threads(threads, || row_softmax_into(&pre, &mut out));
+            prop_assert_eq!(out.as_slice(), oracle.as_slice());
+        }
+
+        let d_oracle = row_softmax_backward(&oracle, &up);
+        row_softmax_backward_into(&oracle, &up, &mut out);
+        prop_assert_eq!(out.as_slice(), d_oracle.as_slice());
+    }
+
+    #[test]
+    fn zip_map_col_and_broadcast_match_oracles(pair in arb_same_shape(1)) {
+        let (a, b) = pair;
+        let (rows, cols) = a.shape();
+        let mut out = Matrix::zeros(2, 2);
+
+        a.zip_into(&b, &mut out, |x, y| x - 2.0 * y);
+        prop_assert_eq!(out.as_slice(), a.zip_with(&b, |x, y| x - 2.0 * y).as_slice());
+
+        let mut sum = a.clone();
+        sum.add_inplace(&b);
+        prop_assert_eq!(sum.as_slice(), a.add(&b).as_slice());
+
+        let bias: Vec<f64> = (0..cols).map(|c| c as f64 - 1.5).collect();
+        let mut inplace = a.clone();
+        inplace.add_row_broadcast_inplace(&bias);
+        prop_assert_eq!(inplace.as_slice(), a.add_row_broadcast(&bias).as_slice());
+
+        let mut col_buf = vec![0.0; rows];
+        for c in 0..cols {
+            a.col_into(c, &mut col_buf);
+            prop_assert_eq!(&col_buf, &a.col(c));
+        }
+    }
+}

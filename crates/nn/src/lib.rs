@@ -7,5 +7,5 @@ mod loss;
 mod optim;
 
 pub use gradcheck::{central_difference, max_relative_error};
-pub use loss::{accuracy, weighted_cross_entropy, CrossEntropy};
+pub use loss::{accuracy, weighted_cross_entropy, weighted_cross_entropy_into, CrossEntropy};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -1,6 +1,6 @@
 //! Weighted softmax cross-entropy (Eqs. 6–7 of the paper) and accuracy.
 
-use ppfr_linalg::{row_softmax, Matrix};
+use ppfr_linalg::{row_softmax, row_softmax_into, Matrix};
 
 /// Result of evaluating the weighted cross-entropy: the scalar loss, the
 /// softmax probabilities and the gradient w.r.t. the logits.
@@ -26,14 +26,50 @@ pub fn weighted_cross_entropy(
     node_ids: &[usize],
     weights: &[f64],
 ) -> CrossEntropy {
+    let probs = row_softmax(logits);
+    let mut d_logits = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = ce_core(logits, labels, node_ids, weights, &probs, &mut d_logits);
+    CrossEntropy {
+        loss,
+        probs,
+        d_logits,
+    }
+}
+
+/// [`weighted_cross_entropy`] writing the probabilities and logit gradient
+/// into caller-owned buffers (resized as needed; allocation-free when shapes
+/// already match) and returning the scalar loss.  Bit-identical to the
+/// allocating entry point.
+pub fn weighted_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[usize],
+    node_ids: &[usize],
+    weights: &[f64],
+    probs: &mut Matrix,
+    d_logits: &mut Matrix,
+) -> f64 {
+    row_softmax_into(logits, probs);
+    d_logits.resize_to(logits.rows(), logits.cols());
+    d_logits.as_mut_slice().fill(0.0);
+    ce_core(logits, labels, node_ids, weights, probs, d_logits)
+}
+
+/// Shared loss/gradient core: assumes `probs = row_softmax(logits)` and
+/// `d_logits` zero-initialised at the logits' shape.
+fn ce_core(
+    logits: &Matrix,
+    labels: &[usize],
+    node_ids: &[usize],
+    weights: &[f64],
+    probs: &Matrix,
+    d_logits: &mut Matrix,
+) -> f64 {
     assert_eq!(
         node_ids.len(),
         weights.len(),
         "one weight per supervised node"
     );
     assert_eq!(logits.rows(), labels.len(), "one label per node");
-    let probs = row_softmax(logits);
-    let mut d_logits = Matrix::zeros(logits.rows(), logits.cols());
     let mut loss = 0.0;
     let norm = node_ids.len().max(1) as f64;
     for (&v, &w) in node_ids.iter().zip(weights.iter()) {
@@ -45,11 +81,7 @@ pub fn weighted_cross_entropy(
             d_logits[(v, c)] = w * (probs[(v, c)] - indicator) / norm;
         }
     }
-    CrossEntropy {
-        loss: loss / norm,
-        probs,
-        d_logits,
-    }
+    loss / norm
 }
 
 /// Classification accuracy of `logits` against `labels` restricted to
@@ -128,6 +160,27 @@ mod tests {
         // Same gradient direction on node 1; node 0 contributes nothing.
         assert!(with_node0.d_logits.row(0).iter().all(|&v| v == 0.0));
         assert!(with_node0.loss > 0.0 && only_node1.loss > 0.0);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_version_bitwise() {
+        let logits = Matrix::from_rows(&[vec![0.5, -0.3, 0.1], vec![-1.0, 0.2, 0.7]]);
+        let labels = vec![2, 0];
+        let ids = vec![0, 1];
+        let w = vec![1.0, 0.5];
+        let ce = weighted_cross_entropy(&logits, &labels, &ids, &w);
+        let mut probs = Matrix::zeros(9, 9);
+        let mut d_logits = Matrix::zeros(0, 0);
+        let loss =
+            weighted_cross_entropy_into(&logits, &labels, &ids, &w, &mut probs, &mut d_logits);
+        assert_eq!(loss.to_bits(), ce.loss.to_bits());
+        assert_eq!(probs.as_slice(), ce.probs.as_slice());
+        assert_eq!(d_logits.as_slice(), ce.d_logits.as_slice());
+        // Reuse must fully overwrite stale contents.
+        let loss2 =
+            weighted_cross_entropy_into(&logits, &labels, &ids, &w, &mut probs, &mut d_logits);
+        assert_eq!(loss2.to_bits(), ce.loss.to_bits());
+        assert_eq!(d_logits.as_slice(), ce.d_logits.as_slice());
     }
 
     #[test]
