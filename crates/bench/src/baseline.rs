@@ -1,0 +1,206 @@
+//! Pre-microkernel reference implementations, frozen for benchmarking.
+//!
+//! The PR that introduced the persistent work-stealing pool and the 4-wide
+//! GEMM/SpMM microkernels kept every production kernel bit-identical to
+//! these scalar forms — so this module replicates the *previous* inner loops
+//! (scalar zero-skip accumulation, per-call scoped-thread dispatch) as
+//! stable baselines.  `benches/microkernels.rs` and `exp_bench_json` measure
+//! the production kernels against them, and the unit tests below pin the
+//! bit-identity claim itself.
+
+use ppfr_graph::SparseMatrix;
+use ppfr_linalg::Matrix;
+
+/// Block height of the cache-blocked `Aᵀ·B` baseline (the PR 5 constant).
+pub const AT_B_BLOCK_ROWS: usize = 8;
+
+/// Replica of the pre-pool parallel dispatch: spawn one scoped thread per
+/// worker with a statically partitioned index range, every call.  This is
+/// the latency baseline the persistent pool must beat.
+pub fn scoped_spawn_dispatch<F>(n_items: usize, threads: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || n_items <= 1 {
+        for i in 0..n_items {
+            task(i);
+        }
+        return;
+    }
+    let workers = threads.min(n_items);
+    let per = n_items.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let task = &task;
+        for w in 0..workers {
+            let start = w * per;
+            let end = ((w + 1) * per).min(n_items);
+            scope.spawn(move || {
+                for i in start..end {
+                    task(i);
+                }
+            });
+        }
+    });
+}
+
+/// Scalar zero-skip row update of the dense product (the pre-microkernel
+/// `matmul_row_into`).
+fn matmul_row_scalar(a_row: &[f64], b: &Matrix, out_row: &mut [f64]) {
+    for (k, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = b.row(k);
+        for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += a * v;
+        }
+    }
+}
+
+/// Scalar single-threaded `A·B` (finite operands assumed).
+pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        matmul_row_scalar(a.row(r), b, out.row_mut(r));
+    }
+    out
+}
+
+/// Scalar single-threaded cache-blocked `Aᵀ·B` (the PR 5 kernel).
+pub fn matmul_at_b_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.cols(), n);
+    let block_len = AT_B_BLOCK_ROWS * n;
+    if n == 0 || a.cols() == 0 {
+        return out;
+    }
+    let mut first_row = 0;
+    for block in out.as_mut_slice().chunks_mut(block_len) {
+        for i in 0..a.rows() {
+            let a_row = a.row(i);
+            let b_row = b.row(i);
+            for (r, out_row) in block.chunks_mut(n).enumerate() {
+                let coeff = a_row[first_row + r];
+                if coeff == 0.0 {
+                    continue;
+                }
+                for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += coeff * v;
+                }
+            }
+        }
+        first_row += AT_B_BLOCK_ROWS;
+    }
+    out
+}
+
+/// Scalar single-threaded `A·Bᵀ` (one dot product per output element).
+pub fn matmul_a_bt_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let out_row = out.row_mut(r);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * b_row[k];
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Scalar single-threaded sparse × dense product (the pre-microkernel
+/// per-entry gather).
+pub fn spmm_serial(m: &SparseMatrix, dense: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.n_rows(), dense.cols());
+    for r in 0..m.n_rows() {
+        let out_row = out.row_mut(r);
+        for (c, v) in m.row(r) {
+            if v == 0.0 {
+                continue;
+            }
+            let d_row = dense.row(c);
+            for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
+                *o += v * d;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize, seed: f64) -> Matrix {
+        // ReLU-like sparsity so the zero-skip paths fire.
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let v = ((i as f64) * 0.7 + seed).sin();
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn production_kernels_are_bit_identical_to_the_scalar_baselines() {
+        let a = dense(23, 17, 0.3);
+        let b = dense(17, 11, 1.1);
+        assert_eq!(
+            a.matmul_serial(&b).as_slice(),
+            matmul_serial(&a, &b).as_slice()
+        );
+
+        let c = dense(23, 11, 2.2);
+        assert_eq!(
+            a.matmul_at_b(&c).as_slice(),
+            matmul_at_b_serial(&a, &c).as_slice()
+        );
+
+        let d = dense(9, 17, 0.9);
+        assert_eq!(
+            a.matmul_a_bt(&d).as_slice(),
+            matmul_a_bt_serial(&a, &d).as_slice()
+        );
+    }
+
+    #[test]
+    fn spmm_is_bit_identical_to_the_scalar_baseline() {
+        let n = 37;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            for s in 0..6 {
+                triplets.push((i, (i * 5 + s * 7 + 1) % n, 0.25 + (i + s) as f64 / 10.0));
+            }
+        }
+        let m = SparseMatrix::from_triplets(n, n, &triplets);
+        let d = dense(n, 8, 0.4);
+        assert_eq!(
+            m.matmul_dense_serial(&d).as_slice(),
+            spmm_serial(&m, &d).as_slice()
+        );
+    }
+
+    #[test]
+    fn scoped_spawn_dispatch_covers_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 3, 8] {
+            let counters: Vec<AtomicUsize> = (0..101).map(|_| AtomicUsize::new(0)).collect();
+            scoped_spawn_dispatch(counters.len(), threads, |i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+}

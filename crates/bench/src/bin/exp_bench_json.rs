@@ -16,7 +16,7 @@ use ppfr_linalg::{row_softmax, Matrix};
 use ppfr_privacy::AttackEvaluator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::time::Instant;
 
 /// One kernel's serial-vs-parallel wall-clock comparison.
@@ -97,6 +97,56 @@ pub struct RunnerBench {
     pub speedup: f64,
     /// Artifact bundles cached after the cold run.
     pub cache_entries: usize,
+}
+
+/// Dispatch latency of the persistent work-stealing pool against the
+/// pre-pool per-call scoped-thread spawn, same trivial task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolDispatchBench {
+    /// Number of (near-empty) tasks dispatched per call.
+    pub items: usize,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Best-of-reps per-call time spawning scoped threads (milliseconds).
+    pub scoped_spawn_ms: f64,
+    /// Best-of-reps per-call time through the persistent pool (milliseconds).
+    pub pool_ms: f64,
+    /// `scoped_spawn_ms / pool_ms`.
+    pub speedup: f64,
+}
+
+/// One kernel timed serial vs pool-parallel at an explicitly forced thread
+/// count (the top-level `kernels` section records only the ambient count).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolKernelBench {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Forced `PPFR_NUM_THREADS` for the parallel run.
+    pub threads: usize,
+    /// Best-of-reps single-thread time (milliseconds).
+    pub serial_ms: f64,
+    /// Best-of-reps pooled time at `threads` (milliseconds).
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// Single-thread 4-wide microkernel against its pre-microkernel scalar
+/// baseline (`ppfr_bench::baseline`); both sides allocate their output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicrokernelBench {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Best-of-reps time of the scalar baseline (milliseconds).
+    pub baseline_ms: f64,
+    /// Best-of-reps time of the production microkernel (milliseconds).
+    pub micro_ms: f64,
+    /// `baseline_ms / micro_ms`.
+    pub speedup: f64,
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds.
@@ -427,6 +477,145 @@ fn main() {
         b
     };
 
+    // Persistent pool: dispatch latency vs per-call scoped spawn, kernels at
+    // explicitly forced thread counts, and the single-thread 4-wide
+    // microkernels against their PR 5 scalar baselines.
+    let pool_value = {
+        use ppfr_bench::baseline;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let mut dispatch_rows = Vec::new();
+        let items = 1024;
+        let cells: Vec<AtomicU64> = (0..items).map(|_| AtomicU64::new(0)).collect();
+        let touch = |i: usize| cells[i].store(i as u64 + 1, Ordering::Relaxed);
+        for threads in [2usize, 8] {
+            let scoped_spawn_ms = best_ms(50, || {
+                baseline::scoped_spawn_dispatch(items, threads, touch)
+            });
+            let pool_ms = best_ms(50, || rayon::dispatch(items, threads, touch));
+            let row = PoolDispatchBench {
+                items,
+                threads,
+                scoped_spawn_ms,
+                pool_ms,
+                speedup: scoped_spawn_ms / pool_ms,
+            };
+            println!(
+                "{:<24} {:<18} scoped {:>9.3} ms   pool     {:>9.3} ms   speedup {:>5.2}x",
+                "pool_dispatch",
+                format!("items={items} t={threads}"),
+                row.scoped_spawn_ms,
+                row.pool_ms,
+                row.speedup
+            );
+            dispatch_rows.push(row);
+        }
+
+        let mut kernel_rows = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let serial_ms = best_ms(reps, || a.matmul_serial(&b));
+            let parallel_ms = best_ms(reps, || with_forced_threads(threads, || a.matmul(&b)));
+            kernel_rows.push(PoolKernelBench {
+                kernel: "matmul".to_string(),
+                size: format!("{mm}x{mk}*{mk}x{mn}"),
+                threads,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms,
+            });
+            let serial_ms = best_ms(reps, || a_hat.matmul_dense_serial(&ds.features));
+            let parallel_ms = best_ms(reps, || {
+                with_forced_threads(threads, || a_hat.matmul_dense(&ds.features))
+            });
+            kernel_rows.push(PoolKernelBench {
+                kernel: "spmm".to_string(),
+                size: format!("{}x{} nnz={}", ds.n_nodes(), ds.n_nodes(), a_hat.nnz()),
+                threads,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms,
+            });
+        }
+        for row in &kernel_rows {
+            println!(
+                "{:<24} {:<18} serial {:>9.3} ms   pool@{}   {:>9.3} ms   speedup {:>5.2}x",
+                format!("pool_{}", row.kernel),
+                row.size,
+                row.serial_ms,
+                row.threads,
+                row.parallel_ms,
+                row.speedup
+            );
+        }
+
+        let mut rng = StdRng::seed_from_u64(23);
+        let c = Matrix::gaussian(mm, mn, 0.0, 1.0, &mut rng);
+        let d = Matrix::gaussian(mn, mk, 0.0, 1.0, &mut rng);
+        let mut micro_rows = Vec::new();
+        let mut micro = |kernel: &str, size: String, baseline_ms: f64, micro_ms: f64| {
+            let row = MicrokernelBench {
+                kernel: kernel.to_string(),
+                size,
+                baseline_ms,
+                micro_ms,
+                speedup: baseline_ms / micro_ms,
+            };
+            println!(
+                "{:<24} {:<18} scalar {:>9.3} ms   micro    {:>9.3} ms   speedup {:>5.2}x",
+                format!("micro_{}", row.kernel),
+                row.size,
+                row.baseline_ms,
+                row.micro_ms,
+                row.speedup
+            );
+            micro_rows.push(row);
+        };
+        micro(
+            "gemm_a_b",
+            format!("{mm}x{mk}*{mk}x{mn}"),
+            best_ms(reps, || baseline::matmul_serial(&a, &b)),
+            best_ms(reps, || a.matmul_serial(&b)),
+        );
+        micro(
+            "gemm_at_b",
+            format!("({mm}x{mk})T*{mm}x{mn}"),
+            best_ms(reps, || baseline::matmul_at_b_serial(&a, &c)),
+            best_ms(reps, || {
+                let mut out = Matrix::zeros(0, 0);
+                a.matmul_at_b_into_serial(&c, &mut out);
+                out
+            }),
+        );
+        micro(
+            "gemm_a_bt",
+            format!("{mm}x{mk}*({mn}x{mk})T"),
+            best_ms(reps, || baseline::matmul_a_bt_serial(&a, &d)),
+            best_ms(reps, || {
+                let mut out = Matrix::zeros(0, 0);
+                a.matmul_a_bt_into_serial(&d, &mut out);
+                out
+            }),
+        );
+        micro(
+            "spmm",
+            format!(
+                "{}x{} nnz={} * d={}",
+                ds.n_nodes(),
+                ds.n_nodes(),
+                a_hat.nnz(),
+                feat_cols
+            ),
+            best_ms(reps, || baseline::spmm_serial(&a_hat, &ds.features)),
+            best_ms(reps, || a_hat.matmul_dense_serial(&ds.features)),
+        );
+
+        Value::Obj(vec![
+            ("dispatch".to_string(), dispatch_rows.to_value()),
+            ("kernels".to_string(), kernel_rows.to_value()),
+            ("microkernels".to_string(), micro_rows.to_value()),
+        ])
+    };
+
     // Merge into any existing BENCH_kernels.json: only this binary's
     // sections are replaced, sections owned by other binaries survive.
     let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
@@ -440,6 +629,7 @@ fn main() {
             ("paths", vec![path].to_value()),
             ("attacks", attacks.to_value()),
             ("runner", runner.to_value()),
+            ("pool", pool_value),
         ],
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

@@ -7,10 +7,14 @@
 //! * `src/bin/exp_runner.rs` — execute one named scenario matrix and print
 //!   the aggregated report (text + stable JSON);
 //! * `benches/kernels.rs` — micro-benchmarks of the hot kernels;
+//! * `benches/microkernels.rs` — the 4-wide GEMM/SpMM microkernels and the
+//!   persistent-pool dispatch against the frozen [`baseline`] replicas;
 //! * `benches/tables.rs`, `benches/figures.rs` — smoke-scale end-to-end
 //!   benchmarks, one group per table / figure;
 //! * `benches/ablations.rs` — design-choice ablations called out in DESIGN.md
 //!   (PP vs DP noise, QCLP re-weighting vs top-k node deletion).
+
+pub mod baseline;
 
 use ppfr_core::ExperimentScale;
 use ppfr_linalg::Matrix;

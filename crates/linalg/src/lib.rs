@@ -3,8 +3,9 @@
 //! The crate deliberately keeps a small surface: a row-major [`Matrix`] of
 //! `f64` plus the handful of kernels a hand-written GNN needs (matmul,
 //! transpose, row-wise softmax, activations, reductions and random
-//! initialisation).  Everything is CPU-only and uses `rayon` for the two
-//! kernels that dominate training time (dense × dense and sparse-adjacency ×
+//! initialisation).  Everything is CPU-only; the kernels that dominate
+//! training time run 4-wide microkernels in their inner loops and dispatch
+//! to the persistent work-stealing pool via [`parallel`] (sparse-adjacency ×
 //! dense products live in `ppfr-graph`).
 
 mod matrix;

@@ -230,13 +230,48 @@ impl Matrix {
     /// IEEE-754); the entry points dispatch to
     /// [`Matrix::matmul_row_into_exact`] when `other` contains non-finite
     /// values.
+    /// The inner loop is a packed 4-wide microkernel over `k`: when a group
+    /// of four consecutive coefficients is entirely nonzero, their four
+    /// `b`-row contributions are fused into one sweep of `out_row`
+    /// (`o + t₀ + t₁ + t₂ + t₃` — left-associative, hence bit-identical to
+    /// the four sequential adds of the scalar loop, while giving the
+    /// autovectoriser four independent multiplies per output element).
+    /// Groups containing a zero fall back to the per-term skip loop, so the
+    /// ReLU-sparse activations that motivate the skip keep their fast path.
     #[inline]
     fn matmul_row_into(a_row: &[f64], other: &Matrix, out_row: &mut [f64]) {
-        for (k, &a) in a_row.iter().enumerate() {
+        let mut groups = a_row.chunks_exact(4);
+        let mut k = 0;
+        for group in groups.by_ref() {
+            let (c0, c1, c2, c3) = (group[0], group[1], group[2], group[3]);
+            if c0 != 0.0 && c1 != 0.0 && c2 != 0.0 && c3 != 0.0 {
+                let b0 = other.row(k);
+                let b1 = other.row(k + 1);
+                let b2 = other.row(k + 2);
+                let b3 = other.row(k + 3);
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o = *o + c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                }
+            } else {
+                for (dk, &a) in group.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k + dk);
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+            k += 4;
+        }
+        for (dk, &a) in groups.remainder().iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
-            let b_row = other.row(k);
+            let b_row = other.row(k + dk);
             for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a * b;
             }
@@ -246,10 +281,26 @@ impl Matrix {
     /// IEEE-exact variant of [`Matrix::matmul_row_into`]: no zero-skip, so
     /// products with non-finite operands follow the mathematical result
     /// (`0 × NaN` and `0 × ∞` contribute NaN instead of silently vanishing).
+    /// Uses the always-fused 4-wide microkernel (left-associative adds keep
+    /// it bit-identical to the sequential scalar loop).
     #[inline]
     fn matmul_row_into_exact(a_row: &[f64], other: &Matrix, out_row: &mut [f64]) {
-        for (k, &a) in a_row.iter().enumerate() {
-            let b_row = other.row(k);
+        let mut groups = a_row.chunks_exact(4);
+        let mut k = 0;
+        for group in groups.by_ref() {
+            let (c0, c1, c2, c3) = (group[0], group[1], group[2], group[3]);
+            let b0 = other.row(k);
+            let b1 = other.row(k + 1);
+            let b2 = other.row(k + 2);
+            let b3 = other.row(k + 3);
+            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o = *o + c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+            }
+            k += 4;
+        }
+        for (dk, &a) in groups.remainder().iter().enumerate() {
+            let b_row = other.row(k + dk);
             for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a * b;
             }
@@ -354,11 +405,55 @@ impl Matrix {
     /// output element the accumulation order (ascending `i`, zero-skip on
     /// `self[(i, k)]`) is independent of the blocking, so any block size
     /// gives bit-identical results.
+    ///
+    /// The `i` loop runs as a packed 4-wide microkernel: four consecutive
+    /// input rows are swept together, and when a block row's four
+    /// coefficients are all usable (exact mode, or all nonzero) their
+    /// contributions fuse into one left-associative update per output
+    /// element — bit-identical to the four sequential scalar adds, but with
+    /// four independent multiplies for the autovectoriser.  Groups with a
+    /// zero coefficient fall back to the per-`i` skip loop.
     #[inline]
     fn at_b_block(&self, other: &Matrix, exact: bool, first_row: usize, block: &mut [f64]) {
         let n = other.cols;
         block.fill(0.0);
-        for i in 0..self.rows {
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let a = [
+                self.row(i),
+                self.row(i + 1),
+                self.row(i + 2),
+                self.row(i + 3),
+            ];
+            let b0 = other.row(i);
+            let b1 = other.row(i + 1);
+            let b2 = other.row(i + 2);
+            let b3 = other.row(i + 3);
+            for (r, out_row) in block.chunks_mut(n).enumerate() {
+                let c0 = a[0][first_row + r];
+                let c1 = a[1][first_row + r];
+                let c2 = a[2][first_row + r];
+                let c3 = a[3][first_row + r];
+                if exact || (c0 != 0.0 && c1 != 0.0 && c2 != 0.0 && c3 != 0.0) {
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o = *o + c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                    }
+                } else {
+                    for (coeff, b_row) in [(c0, b0), (c1, b1), (c2, b2), (c3, b3)] {
+                        if coeff == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += coeff * b;
+                        }
+                    }
+                }
+            }
+            i += 4;
+        }
+        while i < self.rows {
             let a_row = self.row(i);
             let b_row = other.row(i);
             for (r, out_row) in block.chunks_mut(n).enumerate() {
@@ -370,6 +465,7 @@ impl Matrix {
                     *o += coeff * b;
                 }
             }
+            i += 1;
         }
     }
 
@@ -428,9 +524,37 @@ impl Matrix {
     }
 
     /// One output row of the `A·Bᵀ` product: a packed dot product per column.
+    ///
+    /// Runs as a 4-wide microkernel over output columns: four dot products
+    /// against four packed `B` rows share one sweep of `a_row`, accumulating
+    /// into a `[f64; 4]` register block.  Each lane performs exactly the
+    /// scalar loop's operations in the same order (lanes are independent
+    /// output elements), so results are bit-identical while the shared sweep
+    /// quarters the traffic over `a_row` and exposes four independent
+    /// multiply-adds per step.
     #[inline]
     fn a_bt_row(a_row: &[f64], other: &Matrix, exact: bool, out_row: &mut [f64]) {
-        for (j, o) in out_row.iter_mut().enumerate() {
+        let n = out_row.len();
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = other.row(j);
+            let b1 = other.row(j + 1);
+            let b2 = other.row(j + 2);
+            let b3 = other.row(j + 3);
+            let mut acc = [0.0f64; 4];
+            for (k, &a) in a_row.iter().enumerate() {
+                if !exact && a == 0.0 {
+                    continue;
+                }
+                acc[0] += a * b0[k];
+                acc[1] += a * b1[k];
+                acc[2] += a * b2[k];
+                acc[3] += a * b3[k];
+            }
+            out_row[j..j + 4].copy_from_slice(&acc);
+            j += 4;
+        }
+        for (j, o) in out_row.iter_mut().enumerate().skip(j) {
             let b_row = other.row(j);
             let mut acc = 0.0;
             for (k, &a) in a_row.iter().enumerate() {

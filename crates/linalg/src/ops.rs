@@ -44,9 +44,28 @@ pub fn leaky_relu_grad(v: f64, alpha: f64) -> f64 {
 
 /// One softmax row in place; shared by the parallel and serial entry points
 /// so both produce bit-identical results.
+///
+/// The max pass runs 4-laned: each lane folds every fourth element and the
+/// lane maxima combine at the end.  `f64::max` is exact (no rounding) and
+/// order-independent on the values that reach the subtraction — NaNs are
+/// ignored by every ordering, and a `±0.0` sign flip cannot change
+/// `(v - max).exp()` — so the reassociated reduction stays bit-identical to
+/// the sequential fold while exposing four independent compares per step.
+/// The exp/sum pass stays sequential: float addition does *not* reassociate.
 #[inline]
 fn softmax_row_inplace(row: &mut [f64]) {
-    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut chunks = row.chunks_exact(4);
+    let mut lanes = [f64::NEG_INFINITY; 4];
+    for c in chunks.by_ref() {
+        lanes[0] = lanes[0].max(c[0]);
+        lanes[1] = lanes[1].max(c[1]);
+        lanes[2] = lanes[2].max(c[2]);
+        lanes[3] = lanes[3].max(c[3]);
+    }
+    let mut max = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    for &v in chunks.remainder() {
+        max = max.max(v);
+    }
     let mut sum = 0.0;
     for v in row.iter_mut() {
         *v = (*v - max).exp();

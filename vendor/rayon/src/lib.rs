@@ -2,19 +2,34 @@
 //!
 //! Implements the slice / iterator combinators the PPFR kernels use
 //! (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter`
-//! on ranges and vectors, plus [`join`]) on top of `std::thread::scope`.
+//! on ranges and vectors, plus [`join`]) on top of a **persistent
+//! work-stealing thread pool** ([`pool`]).
 //!
-//! Unlike real rayon the combinators are **eager**: each adapter materialises
-//! its items, and the terminal operation splits them into contiguous blocks —
-//! one per worker thread — preserving input order in `map`/`collect`.  That
-//! trades laziness and work-stealing for zero dependencies, which is the right
-//! trade for the dense row-blocked kernels this workspace runs (every row
-//! costs roughly the same, so static partitioning is near-optimal).
+//! One worker set lives for the whole process: it is created lazily on the
+//! first parallel dispatch, parks on a condvar when idle, and is woken per
+//! job — no per-call thread spawn/join.  Each dispatch splits its index space
+//! into per-participant chunk deques (LIFO local pop, FIFO steal), so uneven
+//! workloads balance dynamically instead of relying on static partitioning.
+//! Crucially, workers steal *work*, never results: every task writes to a
+//! slot keyed by its index, which keeps `map`/`collect` order-preserving and
+//! all results bit-identical regardless of thread count, stealing order, or
+//! chunk boundaries.
+//!
+//! The combinators are still **eager** (each adapter materialises its items)
+//! — that trades rayon's lazy fusion for zero dependencies, which remains the
+//! right trade for the dense row-blocked kernels this workspace runs.  The
+//! lower-level [`dispatch`] entry point avoids even that materialisation for
+//! callers (like `ppfr_linalg::parallel`) that can index their work directly.
 //!
 //! Thread count: `PPFR_NUM_THREADS` env var when set, else
-//! `RAYON_NUM_THREADS`, else [`std::thread::available_parallelism`].
+//! `RAYON_NUM_THREADS`, else [`std::thread::available_parallelism`].  The
+//! pool lazily grows to the largest count ever requested (so forcing 8
+//! threads on a 1-CPU box exercises real multi-threaded stealing), while
+//! each individual dispatch uses the count in effect at its call.
 
 use std::sync::OnceLock;
+
+mod pool;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
@@ -39,6 +54,11 @@ pub fn current_num_threads() -> usize {
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Pool-aware: `b` is published to the persistent pool as a *stealable* task
+/// instead of spawning a scoped thread per call.  If no idle worker claims it
+/// by the time `a` finishes, the caller retracts the offer and runs `b`
+/// inline, so the fallback costs two mutex locks rather than a thread spawn.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -49,55 +69,87 @@ where
     if current_num_threads() <= 1 {
         (a(), b())
     } else {
-        std::thread::scope(|s| {
-            let hb = s.spawn(b);
-            let ra = a();
-            (ra, hb.join().expect("rayon::join worker panicked"))
-        })
+        pool::join(a, b)
     }
 }
 
-/// Below this many items per worker, thread spawn/join overhead outweighs the
-/// split: the worker count is capped so each spawned thread has at least this
-/// much work, degenerating to fully serial for tiny inputs.  Real rayon
-/// amortises this with a persistent work-stealing pool; this shim spawns
-/// scoped threads per call, so the floor matters.
+/// Runs `task(i)` exactly once for every `i in 0..n_items`, cooperatively
+/// across the calling thread and up to `threads - 1` pool workers with
+/// work-stealing.  `threads <= 1` (or fewer than two items) degenerates to a
+/// plain serial loop with no pool interaction at all.
+///
+/// This is the zero-materialisation entry point the `ppfr_linalg::parallel`
+/// helpers build on: tasks index into their own buffers, so no per-call item
+/// list is allocated.  Panics in a task abort the job and are re-raised on
+/// the calling thread.
+pub fn dispatch<F>(n_items: usize, threads: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    pool::dispatch(n_items, threads, &task);
+}
+
+/// Below this many items per worker, dispatch overhead outweighs the split:
+/// the participant count is capped so each has at least this much work,
+/// degenerating to fully serial for tiny inputs.
 const MIN_ITEMS_PER_THREAD: usize = 8;
 
-/// Core of every terminal operation: applies `f` to each item on a pool of
-/// scoped threads (contiguous blocks, order-preserving).
+/// A raw pointer that may cross thread boundaries; used to hand each indexed
+/// task its disjoint slot in a buffer the dispatcher keeps alive.
+struct SyncPtr<T>(*mut T);
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Copies the whole wrapper into the closure (edition-2021 disjoint
+    /// capture would otherwise capture only the raw-pointer field, which is
+    /// not `Sync`) and returns the pointer.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: every dispatch writes each index's slot from exactly one task, and
+// the owning Vec outlives the dispatch.
+unsafe impl<T> Sync for SyncPtr<T> {}
+unsafe impl<T> Send for SyncPtr<T> {}
+
+/// Core of every terminal operation: applies `f` to each item on the pool
+/// (order-preserving — results land by index, whoever computes them).
 fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = current_num_threads().min(items.len().div_ceil(MIN_ITEMS_PER_THREAD));
-    if threads <= 1 || items.len() <= 1 {
+    let n = items.len();
+    let threads = current_num_threads().min(n.div_ceil(MIN_ITEMS_PER_THREAD));
+    if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let block = items.len().div_ceil(threads);
-    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(block).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        blocks.push(chunk);
-    }
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let item_ptr = SyncPtr(items.as_mut_ptr());
+    let out_ptr = SyncPtr(out.as_mut_ptr());
     let f = &f;
-    let results: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = blocks
-            .into_iter()
-            .map(|b| s.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon worker panicked"))
-            .collect()
+    pool::dispatch(n, threads, &move |i| {
+        // SAFETY: each index is dispatched exactly once, slots are disjoint,
+        // and both Vecs outlive the dispatch (they are locals below).
+        unsafe {
+            let item = (*item_ptr.get().add(i))
+                .take()
+                .expect("item dispatched twice");
+            *out_ptr.get().add(i) = Some(f(item));
+        }
     });
-    results.into_iter().flatten().collect()
+    out.into_iter()
+        .map(|slot| slot.expect("pool dispatch covered every index"))
+        .collect()
 }
 
 /// An eager parallel iterator over an already-materialised item list.
@@ -251,20 +303,38 @@ mod tests {
     use super::prelude::*;
     use super::*;
 
+    fn forced<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        // Tests in this crate run single-threaded relative to each other only
+        // within the same process; serialise env mutation.
+        use std::sync::Mutex;
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _lock = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = std::env::var("PPFR_NUM_THREADS").ok();
+        std::env::set_var("PPFR_NUM_THREADS", n.to_string());
+        let out = f();
+        match prev {
+            Some(v) => std::env::set_var("PPFR_NUM_THREADS", v),
+            None => std::env::remove_var("PPFR_NUM_THREADS"),
+        }
+        out
+    }
+
     #[test]
     fn map_preserves_order() {
         let v: Vec<usize> = (0..1000).collect();
-        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        let doubled: Vec<usize> = forced(4, || v.par_iter().map(|&x| 2 * x).collect());
         assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
     }
 
     #[test]
     fn chunks_mut_covers_every_element() {
         let mut v = vec![0usize; 103];
-        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
-            for x in chunk.iter_mut() {
-                *x = i + 1;
-            }
+        forced(4, || {
+            v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = i + 1;
+                }
+            })
         });
         assert!(v.iter().all(|&x| x > 0));
         assert_eq!(v[0], 1);
@@ -282,8 +352,65 @@ mod tests {
 
     #[test]
     fn join_returns_both_results() {
-        let (a, b) = join(|| 2 + 2, || "ok");
-        assert_eq!(a, 4);
-        assert_eq!(b, "ok");
+        for threads in [1, 2, 4] {
+            let (a, b) = forced(threads, || join(|| 2 + 2, || "ok"));
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn dispatch_covers_every_index_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 2, 8] {
+            let counters: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            forced(threads, || {
+                dispatch(counters.len(), threads, |i| {
+                    counters[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            for (i, c) in counters.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_propagates_task_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            forced(4, || {
+                dispatch(100, 4, |i| {
+                    if i == 63 {
+                        panic!("worker task panicked on purpose");
+                    }
+                })
+            })
+        });
+        let payload = caught.expect_err("panic must propagate to the dispatcher");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("on purpose"), "unexpected payload: {msg}");
+        // The pool must stay serviceable after an aborted job.
+        let v: Vec<usize> = forced(4, || (0..64usize).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(v, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_panic_in_second_closure_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            forced(4, || {
+                join(
+                    || std::thread::sleep(std::time::Duration::from_millis(2)),
+                    || panic!("second closure panicked"),
+                )
+            })
+        });
+        assert!(caught.is_err(), "join must re-raise the closure panic");
+        let (a, b) = forced(4, || join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
     }
 }

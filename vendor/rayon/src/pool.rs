@@ -1,0 +1,416 @@
+//! The persistent work-stealing thread pool behind every parallel operation.
+//!
+//! One worker set lives for the whole process, created lazily on the first
+//! parallel dispatch and parked on a condvar between jobs — no per-call
+//! `std::thread::scope` spawn/join.  A dispatch splits its index space into
+//! per-participant chunk deques; each participant pops its own deque from the
+//! back (LIFO, cache-warm) and, when empty, steals from another participant's
+//! front (FIFO, the coldest chunk).  Workers steal *work*, never results:
+//! every task writes to a slot keyed by its index, so the output is
+//! independent of which thread ran what and results are bit-identical across
+//! thread counts.
+//!
+//! # Scoped safety
+//!
+//! Jobs live on the dispatcher's stack and are published to workers as raw
+//! pointers.  Three invariants make that sound:
+//!
+//! 1. a worker may only learn about a job through the announcement queue, and
+//!    it registers itself in the job's attach counter *under the queue lock*;
+//! 2. the dispatcher removes the announcement (again under the queue lock)
+//!    before it stops blocking, so no new worker can attach afterwards;
+//! 3. the dispatcher then waits until every pending item is accounted for
+//!    *and* the attach counter has drained back to zero before returning.
+//!
+//! # Panics
+//!
+//! A panicking task aborts the job: the first payload is captured, remaining
+//! chunks are drained without running, and the dispatcher re-raises the
+//! payload on its own thread once every participant has detached.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on spawned workers, guarding against absurd
+/// `PPFR_NUM_THREADS` values.  The dispatcher itself always participates, so
+/// jobs complete even when fewer workers exist than seats were offered.
+const MAX_WORKERS: usize = 128;
+
+/// Chunks each participant's contiguous index range is split into.  More
+/// chunks mean finer-grained stealing; fewer mean less deque traffic.  Chunk
+/// boundaries never influence results (tasks are keyed by index), only who
+/// runs what.
+const CHUNKS_PER_PARTICIPANT: usize = 4;
+
+/// A contiguous range of task indices, the unit of stealing.
+#[derive(Clone, Copy)]
+struct Chunk {
+    start: usize,
+    end: usize,
+}
+
+/// A job published to the pool: an erased pointer plus the monomorphic entry
+/// points workers use to participate in it.
+struct Announcement {
+    /// Erased `&IndexJob<'_>` / `&JoinJob<'_, …>` living on the dispatcher's
+    /// stack; valid until the dispatcher retracts the announcement and the
+    /// attach counter drains (see module docs).
+    job: *const (),
+    /// Bumps the job's attach counter; called under the queue lock.
+    attach: unsafe fn(*const ()),
+    /// Runs one participant to completion and detaches.
+    enter: unsafe fn(*const (), usize),
+    /// Participant seats not yet claimed by a worker.
+    seats: Range<usize>,
+    /// Identity for retraction.
+    id: u64,
+}
+
+// SAFETY: the raw job pointer is only dereferenced while the dispatcher
+// provably blocks (invariants in the module docs).
+unsafe impl Send for Announcement {}
+
+struct PoolState {
+    queue: VecDeque<Announcement>,
+    /// Workers spawned so far (monotonic, ≤ [`MAX_WORKERS`]).
+    workers: usize,
+    next_id: u64,
+}
+
+/// The process-wide pool: an announcement queue plus the condvar idle
+/// workers park on.
+pub(crate) struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+/// The lazily-created process-wide pool instance.
+pub(crate) fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            workers: 0,
+            next_id: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Ensures at least `needed` workers exist (capped at [`MAX_WORKERS`]).
+    /// Spawn failures are tolerated: the dispatcher participates in every job
+    /// it publishes, so fewer workers only means less parallelism.
+    fn ensure_workers(&'static self, needed: usize) {
+        let needed = needed.min(MAX_WORKERS);
+        let mut state = self.state.lock().unwrap();
+        while state.workers < needed {
+            let name = format!("ppfr-pool-{}", state.workers);
+            let spawned = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(self));
+            if spawned.is_err() {
+                break;
+            }
+            state.workers += 1;
+        }
+    }
+
+    /// Publishes a job, offering `seats` to workers, and wakes the pool.
+    fn announce(
+        &'static self,
+        job: *const (),
+        attach: unsafe fn(*const ()),
+        enter: unsafe fn(*const (), usize),
+        seats: Range<usize>,
+    ) -> u64 {
+        let mut state = self.state.lock().unwrap();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push_back(Announcement {
+            job,
+            attach,
+            enter,
+            seats,
+            id,
+        });
+        self.work_cv.notify_all();
+        id
+    }
+
+    /// Removes a job's remaining announcement, if any.  After this returns no
+    /// new worker can attach to the job; workers that attached before hold
+    /// the attach counter the dispatcher still waits on.
+    fn retract(&'static self, id: u64) {
+        let mut state = self.state.lock().unwrap();
+        state.queue.retain(|a| a.id != id);
+    }
+}
+
+/// Body of every pool worker: claim a seat on the oldest announced job, run
+/// it to completion, park when the queue is empty.
+fn worker_loop(pool: &'static Pool) {
+    let mut state = pool.state.lock().unwrap();
+    loop {
+        if let Some(ann) = state.queue.front_mut() {
+            match ann.seats.next() {
+                Some(seat) => {
+                    let job = ann.job;
+                    let attach = ann.attach;
+                    let enter = ann.enter;
+                    if ann.seats.is_empty() {
+                        state.queue.pop_front();
+                    }
+                    // SAFETY: attach runs under the queue lock, before the
+                    // dispatcher could have retracted this announcement, so
+                    // the dispatcher will wait for the matching detach.
+                    unsafe { attach(job) };
+                    drop(state);
+                    // SAFETY: the job stays alive until we detach (inside
+                    // `enter`).
+                    unsafe { enter(job, seat) };
+                    state = pool.state.lock().unwrap();
+                }
+                None => {
+                    state.queue.pop_front();
+                }
+            }
+        } else {
+            state = pool.work_cv.wait(state).unwrap();
+        }
+    }
+}
+
+/// An indexed scoped job: run `task(i)` exactly once for every
+/// `i in 0..n_items`, cooperatively across the dispatcher and any workers
+/// that claim a seat.
+struct IndexJob<'a> {
+    task: &'a (dyn Fn(usize) + Sync),
+    /// One chunk deque per participant seat.
+    deques: Box<[Mutex<VecDeque<Chunk>>]>,
+    /// Items not yet executed or drained.
+    pending: AtomicUsize,
+    /// Workers currently inside [`IndexJob::participate`].
+    attached: AtomicUsize,
+    /// Set on the first panic; participants then drain instead of running.
+    abort: AtomicBool,
+    /// First captured panic payload, re-raised by the dispatcher.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Dispatcher's completion latch (guards re-checks of the atomics).
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl IndexJob<'_> {
+    fn signal_done(&self) {
+        let _guard = self.done.lock().unwrap();
+        self.done_cv.notify_all();
+    }
+
+    /// One participant's work loop: LIFO pop from the own deque, FIFO steal
+    /// from the others, account every chunk taken.
+    fn participate(&self, seat: usize) {
+        let n_deques = self.deques.len();
+        loop {
+            // The own-deque guard must drop before stealing: holding it while
+            // locking a victim's deque would deadlock with a participant
+            // stealing in the opposite direction.  Each lock below is a
+            // statement-scoped temporary, so exactly one is held at a time.
+            let own = self.deques[seat].lock().unwrap().pop_back();
+            let chunk = match own {
+                Some(chunk) => Some(chunk),
+                None => (1..n_deques).find_map(|offset| {
+                    let victim = (seat + offset) % n_deques;
+                    self.deques[victim].lock().unwrap().pop_front()
+                }),
+            };
+            let Some(chunk) = chunk else { break };
+            if !self.abort.load(Ordering::Acquire) {
+                let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                    for i in chunk.start..chunk.end {
+                        (self.task)(i);
+                    }
+                }));
+                if let Err(payload) = run {
+                    self.abort.store(true, Ordering::Release);
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let len = chunk.end - chunk.start;
+            if self.pending.fetch_sub(len, Ordering::AcqRel) == len {
+                self.signal_done();
+            }
+        }
+    }
+}
+
+/// Worker-side entry points for [`IndexJob`], monomorphic so the pool can
+/// hold them as plain fn pointers.
+unsafe fn index_attach(job: *const ()) {
+    let job = &*(job as *const IndexJob<'_>);
+    job.attached.fetch_add(1, Ordering::AcqRel);
+}
+
+unsafe fn index_enter(job: *const (), seat: usize) {
+    let job = &*(job as *const IndexJob<'_>);
+    job.participate(seat);
+    if job.attached.fetch_sub(1, Ordering::AcqRel) == 1 {
+        job.signal_done();
+    }
+}
+
+/// Runs `task(i)` for every `i in 0..n_items` across up to `threads`
+/// participants (the calling thread plus pool workers), work-stealing.
+/// Returns once every index has run; re-raises the first task panic.
+pub(crate) fn dispatch(n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    if threads <= 1 || n_items <= 1 {
+        for i in 0..n_items {
+            task(i);
+        }
+        return;
+    }
+    let participants = threads.min(n_items).min(MAX_WORKERS + 1);
+    let per = n_items.div_ceil(participants);
+    let chunk_len = per.div_ceil(CHUNKS_PER_PARTICIPANT).max(1);
+    let deques: Box<[Mutex<VecDeque<Chunk>>]> = (0..participants)
+        .map(|p| {
+            let lo = p * per;
+            let hi = ((p + 1) * per).min(n_items);
+            let mut deque = VecDeque::with_capacity(CHUNKS_PER_PARTICIPANT);
+            let mut start = lo;
+            while start < hi {
+                let end = (start + chunk_len).min(hi);
+                deque.push_back(Chunk { start, end });
+                start = end;
+            }
+            Mutex::new(deque)
+        })
+        .collect();
+    let job = IndexJob {
+        task,
+        deques,
+        pending: AtomicUsize::new(n_items),
+        attached: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    };
+
+    let pool = pool();
+    pool.ensure_workers(participants - 1);
+    let id = pool.announce(
+        &job as *const IndexJob<'_> as *const (),
+        index_attach,
+        index_enter,
+        1..participants,
+    );
+    job.participate(0);
+    pool.retract(id);
+    {
+        let mut guard = job.done.lock().unwrap();
+        while job.pending.load(Ordering::Acquire) != 0 || job.attached.load(Ordering::Acquire) != 0
+        {
+            guard = job.done_cv.wait(guard).unwrap();
+        }
+    }
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// A scoped two-closure job backing [`crate::join`]: the second closure is
+/// published as a stealable one-seat pool task instead of spawning a thread.
+struct JoinJob<B, RB> {
+    /// The pending closure; exactly one of the worker or the caller takes it.
+    second: Mutex<Option<B>>,
+    /// Result slot filled by whichever side ran the closure remotely.
+    result: Mutex<Option<std::thread::Result<RB>>>,
+    attached: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+unsafe fn join_attach<B, RB>(job: *const ()) {
+    let job = &*(job as *const JoinJob<B, RB>);
+    job.attached.fetch_add(1, Ordering::AcqRel);
+}
+
+unsafe fn join_enter<B, RB>(job: *const (), _seat: usize)
+where
+    B: FnOnce() -> RB,
+{
+    let job = &*(job as *const JoinJob<B, RB>);
+    let second = job.second.lock().unwrap().take();
+    if let Some(second) = second {
+        let result = panic::catch_unwind(AssertUnwindSafe(second));
+        *job.result.lock().unwrap() = Some(result);
+    }
+    if job.attached.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let _guard = job.done.lock().unwrap();
+        job.done_cv.notify_all();
+    }
+}
+
+/// Runs `a` on the calling thread while `b` is offered to the pool as a
+/// stealable task.  If no worker has claimed `b` by the time `a` finishes,
+/// the caller retracts the offer and runs `b` inline — so the call never
+/// waits on a busy pool longer than it has to.  Panics from either closure
+/// propagate on the calling thread (`a`'s first).
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job: JoinJob<B, RB> = JoinJob {
+        second: Mutex::new(Some(b)),
+        result: Mutex::new(None),
+        attached: AtomicUsize::new(0),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    };
+    let pool = pool();
+    pool.ensure_workers(1);
+    let id = pool.announce(
+        &job as *const JoinJob<B, RB> as *const (),
+        join_attach::<B, RB>,
+        join_enter::<B, RB>,
+        0..1,
+    );
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+    pool.retract(id);
+    // Steal `b` back if no worker claimed it yet.
+    let inline_b = job.second.lock().unwrap().take();
+    let inline_result = inline_b.map(|second| panic::catch_unwind(AssertUnwindSafe(second)));
+    // Either way, wait until every attached worker has let go of the job —
+    // a worker may have attached and lost the race for `b`, and it still
+    // holds a reference to the stack-allocated job until it detaches.
+    {
+        let mut guard = job.done.lock().unwrap();
+        while job.attached.load(Ordering::Acquire) != 0 {
+            guard = job.done_cv.wait(guard).unwrap();
+        }
+    }
+    let result_b = match inline_result {
+        Some(result) => result,
+        None => job
+            .result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("claimed join closure must leave a result"),
+    };
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) | (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
