@@ -1,0 +1,57 @@
+//! `ppfr_lint` — the workspace determinism linter (see `ppfr_analysis`
+//! crate docs for the rules).  Exits nonzero when any violation survives
+//! the justified `// lint: allow(<rule>) — why` escape hatches.
+//!
+//! ```text
+//! ppfr_lint [--root <repo-root>] [--json]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let result = match ppfr_analysis::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ppfr_lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", ppfr_analysis::to_json(&result));
+    } else {
+        for v in &result.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "ppfr_lint: {} file(s) scanned, {} violation(s)",
+            result.files_scanned,
+            result.violations.len()
+        );
+    }
+    if result.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("ppfr_lint: {err}\nusage: ppfr_lint [--root <repo-root>] [--json]");
+    ExitCode::FAILURE
+}

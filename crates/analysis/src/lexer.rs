@@ -1,0 +1,292 @@
+//! A minimal hand-rolled Rust tokenizer — just enough fidelity for the lint
+//! rules: identifiers and punctuation carry line numbers, comments are kept
+//! as tokens (the `SAFETY:` and `lint: allow(...)` rules read them), and
+//! string/char/lifetime literals are consumed correctly so their contents
+//! can never masquerade as code.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `:`, `+`, ...).
+    Punct,
+    /// String literal, including raw and byte strings.
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a` — no closing quote).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Line or block comment, text included (`//...` / `/*...*/`).
+    Comment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+/// Tokenizes `src`.  Unterminated constructs consume to end of input rather
+/// than erroring: the linter must never crash on weird-but-compiling code.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Comment, &b[start..i], start_line));
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(tok(TokKind::Comment, &b[start..i], start_line));
+        } else if c == 'r' && is_raw_string_start(&b, i) {
+            let (end, newlines) = consume_raw_string(&b, i + 1);
+            toks.push(tok(TokKind::Str, &b[i..end], start_line));
+            line += newlines;
+            i = end;
+        } else if c == 'b' && i + 1 < b.len() && (b[i + 1] == '"' || is_raw_string_start(&b, i + 1))
+        {
+            let (end, newlines) = if b[i + 1] == '"' {
+                consume_string(&b, i + 2)
+            } else {
+                consume_raw_string(&b, i + 2)
+            };
+            toks.push(tok(TokKind::Str, &b[i..end], start_line));
+            line += newlines;
+            i = end;
+        } else if c == '"' {
+            let (end, newlines) = consume_string(&b, i + 1);
+            toks.push(tok(TokKind::Str, &b[i..end], start_line));
+            line += newlines;
+            i = end;
+        } else if c == '\'' {
+            // Lifetime when an ident char follows and no closing quote does
+            // (`'a`, `'static`); otherwise a char literal (`'a'`, `'\n'`).
+            if is_lifetime(&b, i) {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Lifetime, &b[start..i], start_line));
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                toks.push(tok(TokKind::Char, &b[start..i], start_line));
+            }
+        } else if is_ident_char(c) && !c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && is_ident_char(b[i]) {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Ident, &b[start..i], start_line));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (is_ident_char(b[i]) || b[i] == '.') {
+                // A numeric literal followed by a method call (`1.max(x)`)
+                // must not swallow the ident: stop at `.` + non-digit.
+                if b[i] == '.' && (i + 1 >= b.len() || !b[i + 1].is_ascii_digit()) {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(tok(TokKind::Num, &b[start..i], start_line));
+        } else {
+            toks.push(tok(TokKind::Punct, &b[i..i + 1], start_line));
+            i += 1;
+        }
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: &[char], line: usize) -> Token {
+    Token {
+        kind,
+        text: text.iter().collect(),
+        line,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// At `i` sits `r`; true when `r"` or `r#...#"` follows (raw string).
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    if b[i] != 'r' {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// True when the `'` at `i` starts a lifetime rather than a char literal.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let Some(&next) = b.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_char(next) || next.is_ascii_digit() {
+        return false;
+    }
+    // `'a'` is a char; `'a,` / `'a>` / `'a ` is a lifetime.  Scan the ident
+    // run and check for a closing quote.
+    let mut j = i + 1;
+    while j < b.len() && is_ident_char(b[j]) {
+        j += 1;
+    }
+    b.get(j) != Some(&'\'')
+}
+
+/// Consumes a `"..."` body starting *after* the opening quote; returns
+/// (index past closing quote, newline count inside).
+fn consume_string(b: &[char], mut i: usize) -> (usize, usize) {
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return (i + 1, newlines),
+            '\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Consumes a raw string starting at its `#` run or opening quote; returns
+/// (index past the closing delimiter, newline count inside).
+fn consume_raw_string(b: &[char], mut i: usize) -> (usize, usize) {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&'"'), "caller checked the raw-string shape");
+    i += 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        if b[i] == '\n' {
+            newlines += 1;
+            i += 1;
+        } else if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return (i + 1 + hashes, newlines);
+        } else {
+            i += 1;
+        }
+    }
+    (i, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_do_not_leak_idents() {
+        let toks = kinds(r##"fn f<'a>(x: &'a str) { let _ = "HashMap 'q'"; } // HashSet"##);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "f", "x", "str", "let", "_"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Comment && t.contains("HashSet")));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = kinds("let c = 'x'; let nl = '\\n';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let toks = kinds("/* a /* b */ c */ r#\"un\"safe\"# ident");
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2], (TokKind::Ident, "ident".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let toks = tokenize("a\n\"x\ny\"\nb");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn float_method_calls_split_correctly() {
+        let toks = kinds("1.5 + 2.max(3)");
+        assert!(toks.contains(&(TokKind::Num, "1.5".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "2".to_string())));
+        assert!(toks.contains(&(TokKind::Ident, "max".to_string())));
+    }
+}

@@ -1,0 +1,182 @@
+//! Model-checked scenarios for the work-stealing core (`rayon::steal`),
+//! instantiated over `loom_lite`'s virtual primitives via the `LoomSync`
+//! facade.  Every scenario explores its *entire* schedule space — the
+//! returned [`Report`] says how many interleavings that took and whether
+//! exploration was exhaustive.
+//!
+//! The scenarios mirror `pool::dispatch`'s lifecycle: workers are attached
+//! before they are spawned (in the pool this happens under the announcement
+//! queue's lock, before the dispatcher could observe them absent), then
+//! participate and detach; the dispatcher participates at seat 0 and blocks
+//! in `wait_done`.
+
+use loom_lite::{model, Report};
+use rayon::steal::{Chunk, LoomSync, StealCore};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn chunk(start: usize, end: usize) -> Chunk {
+    Chunk { start, end }
+}
+
+/// Two participants with one chunk each; each may finish its own chunk and
+/// steal the other's.  Verifies: every index runs exactly once under every
+/// schedule, the pending counter drains, the attach counter drains, and no
+/// phantom panic is reported.
+pub fn steal_two_threads() -> Report {
+    model(|| {
+        let core = Arc::new(StealCore::<LoomSync>::from_chunks(vec![
+            VecDeque::from([chunk(0, 1)]),
+            VecDeque::from([chunk(1, 2)]),
+        ]));
+        let runs: Arc<[AtomicUsize; 2]> = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        core.attach();
+        let (c2, r2) = (Arc::clone(&core), Arc::clone(&runs));
+        let worker = loom_lite::thread::spawn(move || {
+            c2.participate(1, &|i| {
+                r2[i].fetch_add(1, Ordering::SeqCst);
+            });
+            c2.detach();
+        });
+        core.participate(0, &|i| {
+            runs[i].fetch_add(1, Ordering::SeqCst);
+        });
+        core.wait_done();
+        worker.join();
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(
+                r.load(Ordering::SeqCst),
+                1,
+                "index {i} must run exactly once"
+            );
+        }
+        assert_eq!(core.pending(), 0);
+        assert_eq!(core.attached_count(), 0);
+        assert!(core.take_panic().is_none());
+    })
+}
+
+/// A single owner over a three-chunk deque must pop LIFO (back first): the
+/// most recently pushed chunk is the cache-warm one.
+pub fn lifo_owner_order() -> Report {
+    model(|| {
+        let core = StealCore::<LoomSync>::from_chunks(vec![VecDeque::from([
+            chunk(0, 1),
+            chunk(1, 2),
+            chunk(2, 3),
+        ])]);
+        let order = Mutex::new(Vec::new());
+        core.participate(0, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), [2, 1, 0], "owner must pop LIFO");
+        assert_eq!(core.pending(), 0);
+    })
+}
+
+/// A pure thief (empty own deque) must steal FIFO (front first): the
+/// coldest chunk, leaving the victim its warm tail.
+pub fn fifo_thief_order() -> Report {
+    model(|| {
+        let core = StealCore::<LoomSync>::from_chunks(vec![
+            VecDeque::from([chunk(0, 1), chunk(1, 2), chunk(2, 3)]),
+            VecDeque::new(),
+        ]);
+        let order = Mutex::new(Vec::new());
+        core.participate(1, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), [0, 1, 2], "thief must steal FIFO");
+        assert_eq!(core.pending(), 0);
+    })
+}
+
+/// A task panic under any schedule: the payload is captured exactly once,
+/// the pending counter still drains (so `wait_done` cannot hang), and no
+/// index runs twice.
+pub fn panic_propagation() -> Report {
+    model(|| {
+        let core = Arc::new(StealCore::<LoomSync>::from_chunks(vec![
+            VecDeque::from([chunk(0, 1)]),
+            VecDeque::from([chunk(1, 2)]),
+        ]));
+        let runs: Arc<[AtomicUsize; 2]> = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        core.attach();
+        let (c2, r2) = (Arc::clone(&core), Arc::clone(&runs));
+        let worker = loom_lite::thread::spawn(move || {
+            c2.participate(1, &|i| {
+                r2[i].fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    panic!("injected task failure");
+                }
+            });
+            c2.detach();
+        });
+        core.participate(0, &|i| {
+            runs[i].fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                panic!("injected task failure");
+            }
+        });
+        core.wait_done();
+        worker.join();
+        assert_eq!(core.pending(), 0, "panic must not leak pending indices");
+        assert_eq!(core.attached_count(), 0);
+        assert!(core.take_panic().is_some(), "the payload must be captured");
+        assert!(core.take_panic().is_none(), "and captured exactly once");
+        assert_eq!(runs[0].load(Ordering::SeqCst), 1);
+        assert!(
+            runs[1].load(Ordering::SeqCst) <= 1,
+            "index may be skipped, never re-run"
+        );
+    })
+}
+
+/// Three virtual threads: a dispatcher that only waits, and two pure
+/// thieves racing FIFO-steals against a two-chunk victim deque.  Verifies
+/// mutual exclusion of the steal (each chunk taken once) and that the
+/// dispatcher's `wait_done` latch cannot miss the last detach.
+pub fn three_thread_steal() -> Report {
+    model(|| {
+        let core = Arc::new(StealCore::<LoomSync>::from_chunks(vec![
+            VecDeque::from([chunk(0, 1), chunk(1, 2)]),
+            VecDeque::new(),
+            VecDeque::new(),
+        ]));
+        let runs: Arc<[AtomicUsize; 2]> = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        core.attach();
+        core.attach();
+        let mut workers = Vec::new();
+        for seat in [1usize, 2] {
+            let (c2, r2) = (Arc::clone(&core), Arc::clone(&runs));
+            workers.push(loom_lite::thread::spawn(move || {
+                c2.participate(seat, &|i| {
+                    r2[i].fetch_add(1, Ordering::SeqCst);
+                });
+                c2.detach();
+            }));
+        }
+        core.wait_done();
+        for w in workers {
+            w.join();
+        }
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(
+                r.load(Ordering::SeqCst),
+                1,
+                "chunk {i} must be stolen exactly once"
+            );
+        }
+        assert_eq!(core.pending(), 0);
+        assert_eq!(core.attached_count(), 0);
+    })
+}
+
+/// Runs every scenario; the name/report pairs feed both the loom test suite
+/// and the `analysis` section of `BENCH_kernels.json`.
+pub fn all() -> Vec<(&'static str, Report)> {
+    vec![
+        ("steal_two_threads", steal_two_threads()),
+        ("lifo_owner_order", lifo_owner_order()),
+        ("fifo_thief_order", fifo_thief_order()),
+        ("panic_propagation", panic_propagation()),
+        ("three_thread_steal", three_thread_steal()),
+    ]
+}

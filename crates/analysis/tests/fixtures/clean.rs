@@ -1,0 +1,32 @@
+//! Fixture: compliant code — parallel kernel with a `_serial` twin and no
+//! reduction, ordered containers at the serialization site, documented
+//! `unsafe`.  Trips nothing.
+
+use std::collections::BTreeMap;
+
+pub fn block_fill(n: usize) {
+    par_rows(n, |i| {
+        let _ = i;
+    });
+}
+
+pub fn block_fill_serial(n: usize) {
+    for i in 0..n {
+        let _ = i;
+    }
+}
+
+pub fn to_json(values: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{");
+    for (k, v) in values {
+        out.push_str(&format!("\"{k}\":{v},"));
+    }
+    out.push('}');
+    out
+}
+
+pub fn first(xs: &[f64]) -> f64 {
+    // SAFETY: callers guarantee `xs` is non-empty, so the pointer read stays
+    // in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,15 @@
+//! Fixture: an unblessed float accumulation inside a parallel kernel.  The
+//! `_serial` twin satisfies `twin-kernel`, so only `par-float-reduction`
+//! trips.
+
+pub fn row_total(n: usize) -> f64 {
+    let mut acc = 0.0;
+    par_rows(n, |i| {
+        acc += i as f64;
+    });
+    acc
+}
+
+pub fn row_total_serial(n: usize) -> f64 {
+    (0..n).map(|i| i as f64).product()
+}

@@ -1,0 +1,9 @@
+//! Fixture: a parallel kernel with neither a `_serial` twin nor a
+//! `with_forced_threads` test.  Trips `twin-kernel` and nothing else.
+
+pub fn scale_rows(n: usize) {
+    par_rows(n, |i| {
+        let doubled = i * 2;
+        let _ = doubled;
+    });
+}

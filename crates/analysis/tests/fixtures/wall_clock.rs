@@ -1,0 +1,7 @@
+//! Fixture: wall-clock time outside `crates/bench`.  Trips `wall-clock`
+//! (once: `Instant` appears on one line) and nothing else.
+
+pub fn elapsed_ms() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,50 @@
+//! Exhaustive model checking of the work-stealing core under `loom_lite`.
+//!
+//! Every test demands `report.complete == true`: the *entire* schedule
+//! space of the scenario was explored, not a sample.  The interleaving
+//! counts are also floor-asserted so a regression that silently shrinks the
+//! explored space (e.g. a scheduling point getting optimized away) fails
+//! loudly.
+
+use ppfr_analysis::loom_scenarios;
+
+#[test]
+fn steal_two_threads_all_schedules() {
+    let report = loom_scenarios::steal_two_threads();
+    assert!(report.complete, "exploration must be exhaustive");
+    assert!(
+        report.interleavings >= 10,
+        "two racing participants cannot have only {} schedules",
+        report.interleavings
+    );
+}
+
+#[test]
+fn lifo_owner_order_all_schedules() {
+    let report = loom_scenarios::lifo_owner_order();
+    assert!(report.complete);
+}
+
+#[test]
+fn fifo_thief_order_all_schedules() {
+    let report = loom_scenarios::fifo_thief_order();
+    assert!(report.complete);
+}
+
+#[test]
+fn panic_propagation_all_schedules() {
+    let report = loom_scenarios::panic_propagation();
+    assert!(report.complete, "exploration must be exhaustive");
+    assert!(report.interleavings >= 10);
+}
+
+#[test]
+fn three_thread_steal_all_schedules() {
+    let report = loom_scenarios::three_thread_steal();
+    assert!(report.complete, "exploration must be exhaustive");
+    assert!(
+        report.interleavings >= 10,
+        "two racing thieves cannot have only {} schedules",
+        report.interleavings
+    );
+}

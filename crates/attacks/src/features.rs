@@ -267,6 +267,19 @@ mod tests {
     }
 
     #[test]
+    fn node_entropies_parallel_matches_serial_across_thread_counts() {
+        let (probs, _, _) = setup();
+        let serial = node_entropies(&probs, false);
+        for threads in [1, 2, 4] {
+            let parallel = with_forced_threads(threads, || node_entropies(&probs, true));
+            assert_eq!(
+                parallel, serial,
+                "node_entropies differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
     fn channel_names_match_the_layout() {
         assert_eq!(channel_names(false).len(), n_channels(false));
         assert_eq!(channel_names(true).len(), n_channels(true));

@@ -27,6 +27,8 @@
 //!   many posterior matrices against the whole grid and reporting the
 //!   worst-case supervised AUC next to the paper's mean-distance AUC.
 
+#![forbid(unsafe_code)]
+
 pub mod auditor;
 pub mod classifier;
 pub mod features;

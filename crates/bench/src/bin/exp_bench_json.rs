@@ -616,6 +616,54 @@ fn main() {
         ])
     };
 
+    // Static-analysis layer: lint runtime over the workspace plus the model
+    // checker's exhaustive state-space sizes, so regressions in either (a
+    // rule suddenly firing, a scenario losing exhaustiveness) show up in the
+    // same artifact as the kernel numbers.
+    let analysis = {
+        let lint_started = Instant::now();
+        let scan = ppfr_analysis::scan_workspace(std::path::Path::new("."))
+            .expect("ppfr_lint scan (run from the repo root)");
+        let lint_ms = lint_started.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "\nppfr_lint                {:>4} file(s)         {:>4} violation(s)     {:>9.1} ms",
+            scan.files_scanned,
+            scan.violations.len(),
+            lint_ms
+        );
+        // The panic-propagation scenario injects hundreds of caught panics;
+        // silence the default hook's backtraces while the checker runs.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let scenarios = ppfr_analysis::loom_scenarios::all();
+        std::panic::set_hook(prev_hook);
+        let loom: Vec<Value> = scenarios
+            .into_iter()
+            .map(|(name, report)| {
+                println!(
+                    "loom {:<24} {:>7} interleaving(s)   complete={}",
+                    name, report.interleavings, report.complete
+                );
+                Value::Obj(vec![
+                    ("scenario".to_string(), name.to_value()),
+                    ("interleavings".to_string(), report.interleavings.to_value()),
+                    ("complete".to_string(), report.complete.to_value()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            (
+                "lint".to_string(),
+                Value::Obj(vec![
+                    ("files_scanned".to_string(), scan.files_scanned.to_value()),
+                    ("violations".to_string(), scan.violations.len().to_value()),
+                    ("runtime_ms".to_string(), lint_ms.to_value()),
+                ]),
+            ),
+            ("loom".to_string(), Value::Arr(loom)),
+        ])
+    };
+
     // Merge into any existing BENCH_kernels.json: only this binary's
     // sections are replaced, sections owned by other binaries survive.
     let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
@@ -630,6 +678,7 @@ fn main() {
             ("attacks", attacks.to_value()),
             ("runner", runner.to_value()),
             ("pool", pool_value),
+            ("analysis", analysis),
         ],
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

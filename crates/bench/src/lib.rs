@@ -14,6 +14,8 @@
 //! * `benches/ablations.rs` — design-choice ablations called out in DESIGN.md
 //!   (PP vs DP noise, QCLP re-weighting vs top-k node deletion).
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 
 use ppfr_core::ExperimentScale;

@@ -17,7 +17,7 @@ use ppfr_attacks::ThreatAuditor;
 use ppfr_datasets::{citeseer, cora, credit, enzymes, generate, pubmed, Dataset, DatasetSpec};
 use ppfr_gnn::ModelKind;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Scales a dataset spec for the requested experiment scale: the smoke
 /// variant shrinks node counts and splits proportionally so every experiment
@@ -90,7 +90,9 @@ pub struct DatasetArtifacts {
     /// The generated dataset every run in this group shares.
     pub dataset: Dataset,
     auditor: ThreatAuditor,
-    vanilla: HashMap<ModelKind, (TrainedOutcome, MethodRun)>,
+    // Keyed lookups only today, but BTreeMap keeps any future iteration
+    // deterministic — this cache sits on the path to serialized reports.
+    vanilla: BTreeMap<ModelKind, (TrainedOutcome, MethodRun)>,
 }
 
 impl DatasetArtifacts {
@@ -101,7 +103,7 @@ impl DatasetArtifacts {
         Self {
             dataset,
             auditor,
-            vanilla: HashMap::new(),
+            vanilla: BTreeMap::new(),
         }
     }
 

@@ -33,6 +33,8 @@
 //! let _ = ExperimentScale::smoke();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod evaluate;
 pub mod experiments;

@@ -10,6 +10,8 @@
 //! influence-function experiments run in seconds.  See DESIGN.md §2 for the
 //! substitution argument.
 
+#![forbid(unsafe_code)]
+
 mod sbm;
 mod shadow;
 mod specs;

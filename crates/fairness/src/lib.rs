@@ -6,6 +6,8 @@
 //! individual-fairness audit and a REDRESS-style ranking-fairness metric
 //! (listed as an extension in DESIGN.md).
 
+#![forbid(unsafe_code)]
+
 mod bias;
 mod lipschitz;
 mod ranking;

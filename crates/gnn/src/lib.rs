@@ -10,6 +10,8 @@
 //! All gradients are verified against central finite differences in the test
 //! suites of the individual model modules.
 
+#![forbid(unsafe_code)]
+
 mod context;
 mod gat;
 mod gcn;

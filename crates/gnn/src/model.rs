@@ -67,7 +67,7 @@ pub trait GnnModel {
 }
 
 /// Which architecture to instantiate — used by experiment configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ModelKind {
     /// Graph convolutional network (Kipf & Welling 2017).
     Gcn,

@@ -6,6 +6,8 @@
 //! InFoRM), k-hop analysis used by Lemma V.1, homophily/sparsity statistics
 //! and edge-perturbation utilities (`A' = A + ΔA`).
 
+#![forbid(unsafe_code)]
+
 mod csr;
 mod graph;
 mod hops;

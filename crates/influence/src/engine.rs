@@ -81,6 +81,9 @@ pub fn influence_on(
         -s_f.iter()
             .zip(g_v.iter())
             .map(|(&a, &b)| a * b)
+            // lint: allow(par-float-reduction) — row-local dot product, each
+            // row independent and collected in index order; pinned by the
+            // forced-thread bit-identity test in this module
             .sum::<f64>()
     })
 }
@@ -194,6 +197,28 @@ mod tests {
         // Pearson correlation of bias/risk influences must be a valid value in [-1, 1].
         let r = pearson(&inf.bias, &inf.risk);
         assert!((-1.0..=1.0).contains(&r), "correlation out of range: {r}");
+    }
+
+    #[test]
+    fn influence_on_is_bit_identical_across_thread_counts() {
+        let s = trained_setup();
+        let cfg = InfluenceConfig {
+            cg_iters: 6,
+            ..Default::default()
+        };
+        let grad_bias = bias_grad_wrt_params(&s.model, &s.ctx, &s.l_s);
+        let baseline = ppfr_linalg::parallel::with_forced_threads(1, || {
+            influence_on(&s.model, &s.ctx, &s.labels, &s.train_ids, &grad_bias, &cfg)
+        });
+        for threads in [2, 8] {
+            let parallel = ppfr_linalg::parallel::with_forced_threads(threads, || {
+                influence_on(&s.model, &s.ctx, &s.labels, &s.train_ids, &grad_bias, &cfg)
+            });
+            assert_eq!(
+                parallel, baseline,
+                "influence_on differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -77,6 +77,9 @@ pub fn hessian_vector_product_with(
     damping: f64,
 ) -> Vec<f64> {
     let n_train = train_ids.len().max(1) as f64;
+    // lint: allow(par-float-reduction) — the `.sum` norm runs serially before
+    // par_join; the two gradient sides are independent, pinned bit-identical
+    // by this crate's forced-thread tests
     let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
     if norm <= f64::EPSILON {
         return vec![0.0; v.len()];
@@ -119,6 +122,9 @@ pub fn hessian_vector_product(
     damping: f64,
 ) -> Vec<f64> {
     let n_train = train_ids.len().max(1) as f64;
+    // lint: allow(par-float-reduction) — the `.sum` norm runs serially before
+    // par_join; the oracle is pinned against the scratch path by this
+    // crate's tests
     let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
     if norm <= f64::EPSILON {
         return vec![0.0; v.len()];

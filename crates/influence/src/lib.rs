@@ -13,6 +13,8 @@
 //!   product per node);
 //! * the Pearson correlation between `I_fbias` and `I_frisk` (Table II).
 
+#![forbid(unsafe_code)]
+
 mod engine;
 mod gradients;
 mod hvp;

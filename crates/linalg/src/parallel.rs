@@ -76,6 +76,8 @@ impl<T> SendPtr<T> {
 // SAFETY: every dispatch touches each index's disjoint region from exactly
 // one task, and the owning buffer outlives the dispatch.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to the wrapper only ever copy the pointer out;
+// the disjoint-region argument above covers all dereferences.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Splits `data` into consecutive `chunk_len`-sized mutable chunks (matrix

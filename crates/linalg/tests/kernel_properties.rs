@@ -111,8 +111,10 @@ proptest! {
         }
 
         let d_oracle = row_softmax_backward(&oracle, &up);
-        row_softmax_backward_into(&oracle, &up, &mut out);
-        prop_assert_eq!(out.as_slice(), d_oracle.as_slice());
+        for threads in [1, 4] {
+            with_forced_threads(threads, || row_softmax_backward_into(&oracle, &up, &mut out));
+            prop_assert_eq!(out.as_slice(), d_oracle.as_slice());
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! the weighted softmax-cross-entropy loss of Eq. (6)/(7), the Adam and SGD
 //! optimisers, and finite-difference gradient-check helpers used by tests.
 
+#![forbid(unsafe_code)]
+
 mod gradcheck;
 mod loss;
 mod optim;

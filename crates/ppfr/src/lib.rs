@@ -17,6 +17,8 @@
 //! * [`core`] — the PPFR pipeline, baselines and experiment drivers;
 //! * [`runner`] — the multi-seed scenario runner with artifact caching.
 
+#![forbid(unsafe_code)]
+
 pub use ppfr_core as core;
 pub use ppfr_datasets as datasets;
 pub use ppfr_fairness as fairness;

@@ -15,6 +15,8 @@
 //!   (Wu et al., IEEE S&P 2022) used by the DPReg / DPFR baselines;
 //! * [`risk_model`] — the closed-form edge-sensitivity model of Eq. (20).
 
+#![forbid(unsafe_code)]
+
 pub mod attack;
 pub mod distance;
 pub mod dp;

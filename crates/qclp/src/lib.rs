@@ -17,6 +17,8 @@
 //! compact, so projected gradient descent converges to the global optimum;
 //! the analytic tests below verify it against hand-solvable instances.
 
+#![forbid(unsafe_code)]
+
 mod projections;
 mod solver;
 

@@ -69,6 +69,9 @@ impl ArtifactCache {
     ) -> Arc<Mutex<DatasetArtifacts>> {
         let key = Self::key(spec, cfg, data_seed, threat_models);
         if let Some(found) = self.map.lock().expect("cache lock").get(&key) {
+            // Relaxed is sufficient for the hit/miss tallies: they are pure
+            // statistics read after the run quiesces and never order access
+            // to the artifacts, which the map mutex already publishes.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(found);
         }

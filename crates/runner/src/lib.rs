@@ -31,6 +31,8 @@
 //! assert_eq!(report.to_json(), warm.to_json());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod aggregate;
 mod cache;
 mod multi;

@@ -1,0 +1,413 @@
+//! Execution machinery: virtual-thread states, the scheduling handshake,
+//! and the per-execution driver.
+//!
+//! Virtual threads are real OS threads that park inside [`yield_op`] at
+//! every operation on a virtual primitive; the driver (the thread that
+//! called `model`) grants exactly one of them per step, so scenario code is
+//! fully serialized between scheduling points.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::Explorer;
+
+/// Sentinel for "no second object" in an [`Op`].
+pub(crate) const NO_OBJ: usize = usize::MAX;
+
+/// Kinds of scheduling-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// Acquire a virtual mutex (`obj`); enabled only while it is free.
+    Lock,
+    /// Atomically release mutex `obj2` and block on condvar `obj`.
+    CvWait,
+    /// Wake every waiter of condvar `obj`.
+    CvNotify,
+    /// Atomic read-modify-write or store on `obj`.
+    AtomicWrite,
+    /// Atomic load of `obj` (commutes with other loads).
+    AtomicLoad,
+    /// Wait for virtual thread with thread-object `obj` (tid in `obj2`);
+    /// enabled only once it has finished.
+    Join,
+}
+
+/// One pending operation of a parked virtual thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    pub obj: usize,
+    pub obj2: usize,
+}
+
+impl Op {
+    fn is_read_only(self) -> bool {
+        matches!(self.kind, OpKind::AtomicLoad | OpKind::Join)
+    }
+
+    fn touches(self, obj: usize) -> bool {
+        obj != NO_OBJ && (self.obj == obj || self.obj2 == obj)
+    }
+}
+
+/// True when the two operations commute: they touch disjoint objects, or
+/// are both pure reads.  Used by the sleep-set filter; being conservative
+/// (declaring more pairs dependent) only costs pruning, never soundness.
+pub(crate) fn independent(a: Op, b: Op) -> bool {
+    let shared = a.touches(b.obj) || a.touches(b.obj2);
+    !shared || (a.is_read_only() && b.is_read_only())
+}
+
+/// Lifecycle of one virtual thread.
+#[derive(Debug)]
+pub(crate) enum Phase {
+    /// Real thread spawned, not yet parked at its first scheduling point.
+    Starting,
+    /// Parked, pending operation declared, waiting for a grant.
+    Waiting(Op),
+    /// Granted by the driver; about to resume.
+    Granted,
+    /// Executing scenario code between scheduling points.
+    Running,
+    /// Parked on a virtual condvar until a notify re-arms it as a
+    /// `Waiting(Lock)` on the associated mutex.
+    BlockedCv { cv: usize },
+    /// Scenario closure returned (or panicked; the failure is recorded).
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub phase: Phase,
+    /// The thread's own object id (join target identity).
+    pub obj: usize,
+}
+
+/// State of one virtual object.
+pub(crate) enum ObjState {
+    MutexObj { held_by: Option<usize> },
+    /// Condvars, atomics and thread identities carry no driver-side state.
+    Plain,
+}
+
+pub(crate) struct ExecState {
+    pub threads: Vec<ThreadState>,
+    pub objects: Vec<ObjState>,
+    pub handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    /// Thread ids granted so far, in order — the replayable schedule.
+    pub schedule: Vec<usize>,
+    pub failure: Option<String>,
+    /// Set when aborting: parked threads unwind instead of waiting forever.
+    pub poisoned: bool,
+    /// Per-thread mutex to re-acquire after a condvar wait is notified.
+    pub cv_wait_mutex: Vec<usize>,
+}
+
+/// One execution's shared scheduling state.
+pub(crate) struct Execution {
+    pub state: Mutex<ExecState>,
+    pub cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the calling OS thread registered as virtual thread `tid`.
+fn with_identity<R>(exec: Arc<Execution>, tid: usize, f: impl FnOnce() -> R) -> R {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+    let out = f();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    out
+}
+
+/// The calling thread's execution context; panics outside [`crate::model`].
+pub(crate) fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom_lite primitive used outside model()")
+    })
+}
+
+/// Parks the calling virtual thread at a scheduling point with pending
+/// operation `op`; returns once the driver grants it (for `CvWait`, once
+/// the wait completed *and* the mutex was re-acquired).
+pub(crate) fn yield_op(exec: &Execution, tid: usize, op: Op) {
+    let mut st = exec.state.lock().unwrap();
+    st.threads[tid].phase = Phase::Waiting(op);
+    exec.cv.notify_all();
+    loop {
+        if st.poisoned {
+            drop(st);
+            panic!("loom_lite execution poisoned (aborting parked thread)");
+        }
+        if matches!(st.threads[tid].phase, Phase::Granted) {
+            break;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+    st.threads[tid].phase = Phase::Running;
+    drop(st);
+}
+
+/// Registers a new virtual object; called from primitive constructors.
+pub(crate) fn register_object(kind: ObjState) -> usize {
+    let (exec, _) = current();
+    let mut st = exec.state.lock().unwrap();
+    st.objects.push(kind);
+    st.objects.len() - 1
+}
+
+/// Releases virtual mutex `obj` (guard drop — not a scheduling point: the
+/// whole critical section is coarsened into the acquisition).
+pub(crate) fn release_mutex(exec: &Execution, obj: usize) {
+    let mut st = exec.state.lock().unwrap();
+    match &mut st.objects[obj] {
+        ObjState::MutexObj { held_by } => *held_by = None,
+        ObjState::Plain => unreachable!("released object is not a mutex"),
+    }
+    exec.cv.notify_all();
+}
+
+/// Spawns a virtual thread running `f`; blocks (in real time, without a
+/// scheduling choice) until the child parks at its first scheduling point,
+/// so scenario code stays serialized.  Returns the child's tid.
+pub(crate) fn spawn_vthread(f: Box<dyn FnOnce() + Send>) -> usize {
+    let (exec, _) = current();
+    let tid;
+    {
+        let mut st = exec.state.lock().unwrap();
+        tid = st.threads.len();
+        let obj = {
+            st.objects.push(ObjState::Plain);
+            st.objects.len() - 1
+        };
+        st.threads.push(ThreadState {
+            phase: Phase::Starting,
+            obj,
+        });
+        st.cv_wait_mutex.push(NO_OBJ);
+        let exec2 = Arc::clone(&exec);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-vthread-{tid}"))
+            .spawn(move || vthread_main(exec2, tid, f))
+            .expect("spawn loom_lite virtual thread");
+        st.handles.push(Some(handle));
+    }
+    // Synchronous handoff: wait until the child parks (or finishes).  Code
+    // before its first scheduling point must be thread-local setup, which
+    // commutes with everything, so running it eagerly loses no schedules.
+    let mut st = exec.state.lock().unwrap();
+    while matches!(st.threads[tid].phase, Phase::Starting) {
+        st = exec.cv.wait(st).unwrap();
+    }
+    drop(st);
+    tid
+}
+
+/// Entry of every real thread backing a virtual thread.
+fn vthread_main(exec: Arc<Execution>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    let exec2 = Arc::clone(&exec);
+    let result = with_identity(exec2, tid, || panic::catch_unwind(AssertUnwindSafe(f)));
+    let mut st = exec.state.lock().unwrap();
+    if let Err(payload) = result {
+        if st.failure.is_none() && !st.poisoned {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            st.failure = Some(format!(
+                "virtual thread {tid} panicked: {msg}; schedule so far: {:?}",
+                st.schedule
+            ));
+        }
+    }
+    st.threads[tid].phase = Phase::Finished;
+    exec.cv.notify_all();
+}
+
+impl ExecState {
+    fn quiescent(&self) -> bool {
+        self.threads.iter().all(|t| {
+            matches!(
+                t.phase,
+                Phase::Waiting(_) | Phase::BlockedCv { .. } | Phase::Finished
+            )
+        })
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.phase, Phase::Finished))
+    }
+
+    /// Parked threads whose pending operation can proceed right now.
+    fn enabled(&self) -> Vec<(usize, Op)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match t.phase {
+                Phase::Waiting(op) => {
+                    let ready = match op.kind {
+                        OpKind::Lock => matches!(
+                            self.objects[op.obj],
+                            ObjState::MutexObj { held_by: None }
+                        ),
+                        OpKind::Join => {
+                            matches!(self.threads[op.obj2].phase, Phase::Finished)
+                        }
+                        _ => true,
+                    };
+                    ready.then_some((tid, op))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Applies the state transition of granting `tid`'s pending operation.
+    fn apply_grant(&mut self, tid: usize) {
+        let op = match self.threads[tid].phase {
+            Phase::Waiting(op) => op,
+            ref p => unreachable!("granting a thread in phase {p:?}"),
+        };
+        self.schedule.push(tid);
+        match op.kind {
+            OpKind::Lock => {
+                match &mut self.objects[op.obj] {
+                    ObjState::MutexObj { held_by } => {
+                        debug_assert!(held_by.is_none(), "granted lock on a held mutex");
+                        *held_by = Some(tid);
+                    }
+                    ObjState::Plain => unreachable!("locked object is not a mutex"),
+                }
+                self.threads[tid].phase = Phase::Granted;
+            }
+            OpKind::CvWait => {
+                match &mut self.objects[op.obj2] {
+                    ObjState::MutexObj { held_by } => {
+                        debug_assert_eq!(*held_by, Some(tid), "cv-wait without the mutex");
+                        *held_by = None;
+                    }
+                    ObjState::Plain => unreachable!("cv-wait object is not a mutex"),
+                }
+                // The thread stays parked; a notify re-arms it as a plain
+                // lock acquisition of the associated mutex.
+                self.threads[tid].phase = Phase::BlockedCv { cv: op.obj };
+                let mutex = op.obj2;
+                // Remember the mutex to re-acquire via the op it will carry.
+                // (Stored in the re-armed Waiting op at notify time.)
+                self.cv_wait_mutex[tid] = mutex;
+            }
+            OpKind::CvNotify => {
+                for t in 0..self.threads.len() {
+                    if let Phase::BlockedCv { cv } = self.threads[t].phase {
+                        if cv == op.obj {
+                            self.threads[t].phase = Phase::Waiting(Op {
+                                kind: OpKind::Lock,
+                                obj: self.cv_wait_mutex[t],
+                                obj2: NO_OBJ,
+                            });
+                        }
+                    }
+                }
+                self.threads[tid].phase = Phase::Granted;
+            }
+            OpKind::AtomicWrite | OpKind::AtomicLoad | OpKind::Join => {
+                self.threads[tid].phase = Phase::Granted;
+            }
+        }
+    }
+}
+
+/// Runs one execution of `scenario` under the explorer's current path.
+/// Returns `Err` with a diagnostic on panic, deadlock, or step-bound
+/// overflow.
+pub(crate) fn run_one(
+    scenario: Arc<dyn Fn() + Send + Sync>,
+    explorer: &mut Explorer,
+    max_steps: usize,
+) -> Result<(), String> {
+    let exec = Arc::new(Execution {
+        state: Mutex::new(ExecState {
+            threads: Vec::new(),
+            objects: Vec::new(),
+            handles: Vec::new(),
+            schedule: Vec::new(),
+            failure: None,
+            poisoned: false,
+            cv_wait_mutex: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+
+    // Register and start virtual thread 0 (the scenario closure itself).
+    {
+        let mut st = exec.state.lock().unwrap();
+        st.objects.push(ObjState::Plain);
+        st.threads.push(ThreadState {
+            phase: Phase::Starting,
+            obj: 0,
+        });
+        st.cv_wait_mutex.push(NO_OBJ);
+        let exec2 = Arc::clone(&exec);
+        let handle = std::thread::Builder::new()
+            .name("loom-vthread-0".to_string())
+            .spawn(move || vthread_main(exec2, 0, Box::new(move || scenario())))
+            .expect("spawn loom_lite root virtual thread");
+        st.handles.push(Some(handle));
+    }
+
+    let mut depth = 0usize;
+    let failure = loop {
+        let mut st = exec.state.lock().unwrap();
+        while !st.quiescent() && st.failure.is_none() {
+            st = exec.cv.wait(st).unwrap();
+        }
+        if let Some(f) = st.failure.clone() {
+            break Some(f);
+        }
+        if st.all_finished() {
+            break None;
+        }
+        let enabled = st.enabled();
+        if enabled.is_empty() {
+            break Some(format!(
+                "deadlock: no runnable virtual thread; schedule so far: {:?}",
+                st.schedule
+            ));
+        }
+        if depth >= max_steps {
+            break Some(format!(
+                "schedule exceeded {max_steps} steps (livelock under this interleaving?)"
+            ));
+        }
+        let tid = explorer.choose(depth, &enabled);
+        st.apply_grant(tid);
+        exec.cv.notify_all();
+        depth += 1;
+    };
+
+    // Tear down: on failure, poison so parked threads unwind; then join
+    // every real thread either way so no OS threads leak across executions.
+    let handles: Vec<_> = {
+        let mut st = exec.state.lock().unwrap();
+        if failure.is_some() {
+            st.poisoned = true;
+        }
+        exec.cv.notify_all();
+        st.handles.iter_mut().map(|h| h.take()).collect()
+    };
+    for handle in handles.into_iter().flatten() {
+        let _ = handle.join();
+    }
+    // A panic recorded between the grant loop and teardown still fails.
+    let late_failure = exec.state.lock().unwrap().failure.clone();
+    match failure.or(late_failure) {
+        Some(f) => Err(f),
+        None => Ok(()),
+    }
+}

@@ -1,0 +1,239 @@
+//! Virtual synchronization primitives.  Every operation is a scheduling
+//! point (see crate docs); construction only registers the object with the
+//! current execution and must therefore happen inside [`crate::model`].
+
+use crate::exec::{self, ObjState, Op, OpKind, NO_OBJ};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Virtual mutex.  `lock()` parks until the driver grants the acquisition;
+/// the whole critical section is one scheduling point.
+pub struct Mutex<T> {
+    cell: UnsafeCell<T>,
+    obj: usize,
+    exec: Arc<exec::Execution>,
+}
+
+// SAFETY: the driver grants at most one `Lock` per mutex between releases
+// (asserted in `apply_grant`), so `cell` is only ever accessed by the single
+// virtual thread holding the guard, across real threads that are themselves
+// serialized by the `Execution` handshake.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: see the `Send` justification — guarded exclusive access only.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let (exec, _) = exec::current();
+        let obj = exec::register_object(ObjState::MutexObj { held_by: None });
+        Mutex {
+            cell: UnsafeCell::new(value),
+            obj,
+            exec,
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (_, tid) = exec::current();
+        exec::yield_op(
+            &self.exec,
+            tid,
+            Op {
+                kind: OpKind::Lock,
+                obj: self.obj,
+                obj2: NO_OBJ,
+            },
+        );
+        MutexGuard { mutex: self }
+    }
+}
+
+/// RAII guard of a virtual [`Mutex`]; releasing is not a scheduling point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while the driver records this virtual
+        // thread as the mutex holder, so access is exclusive.
+        unsafe { &*self.mutex.cell.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the holder has exclusive access.
+        unsafe { &mut *self.mutex.cell.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        exec::release_mutex(&self.mutex.exec, self.mutex.obj);
+    }
+}
+
+/// Virtual condition variable with no spurious wakeups: a waiter resumes
+/// only after a notify (lost-wakeup schedules are still explored because
+/// wait and notify conflict on the condvar object).
+pub struct Condvar {
+    obj: usize,
+    exec: Arc<exec::Execution>,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (exec, _) = exec::current();
+        let obj = exec::register_object(ObjState::Plain);
+        Condvar { obj, exec }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified;
+    /// returns with the mutex re-acquired.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        debug_assert!(
+            Arc::ptr_eq(&mutex.exec, &self.exec),
+            "condvar and mutex belong to different executions"
+        );
+        // The CvWait grant releases the mutex driver-side; skip the guard's
+        // own release by forgetting it (it holds no other resources).
+        std::mem::forget(guard);
+        let (_, tid) = exec::current();
+        exec::yield_op(
+            &self.exec,
+            tid,
+            Op {
+                kind: OpKind::CvWait,
+                obj: self.obj,
+                obj2: mutex.obj,
+            },
+        );
+        // yield_op returned: the driver re-granted the mutex to this thread.
+        MutexGuard { mutex }
+    }
+
+    pub fn notify_all(&self) {
+        let (_, tid) = exec::current();
+        exec::yield_op(
+            &self.exec,
+            tid,
+            Op {
+                kind: OpKind::CvNotify,
+                obj: self.obj,
+                obj2: NO_OBJ,
+            },
+        );
+    }
+}
+
+pub mod atomic {
+    //! Virtual atomics.  Sequentially consistent only: the driver's schedule
+    //! order is the single modification order all threads observe.
+
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    /// Virtual `AtomicUsize`; every access is a scheduling point.
+    pub struct AtomicUsize {
+        val: std::sync::atomic::AtomicUsize,
+        obj: usize,
+        exec: Arc<exec::Execution>,
+    }
+
+    impl AtomicUsize {
+        pub fn new(value: usize) -> Self {
+            let (exec, _) = exec::current();
+            let obj = exec::register_object(ObjState::Plain);
+            AtomicUsize {
+                val: std::sync::atomic::AtomicUsize::new(value),
+                obj,
+                exec,
+            }
+        }
+
+        fn yield_here(&self, kind: OpKind) {
+            let (_, tid) = exec::current();
+            exec::yield_op(
+                &self.exec,
+                tid,
+                Op {
+                    kind,
+                    obj: self.obj,
+                    obj2: NO_OBJ,
+                },
+            );
+        }
+
+        pub fn load(&self) -> usize {
+            self.yield_here(OpKind::AtomicLoad);
+            self.val.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, value: usize) {
+            self.yield_here(OpKind::AtomicWrite);
+            self.val.store(value, Ordering::SeqCst)
+        }
+
+        pub fn fetch_add(&self, value: usize) -> usize {
+            self.yield_here(OpKind::AtomicWrite);
+            self.val.fetch_add(value, Ordering::SeqCst)
+        }
+
+        pub fn fetch_sub(&self, value: usize) -> usize {
+            self.yield_here(OpKind::AtomicWrite);
+            self.val.fetch_sub(value, Ordering::SeqCst)
+        }
+    }
+
+    /// Virtual `AtomicBool`; every access is a scheduling point.
+    pub struct AtomicBool {
+        val: std::sync::atomic::AtomicBool,
+        obj: usize,
+        exec: Arc<exec::Execution>,
+    }
+
+    impl AtomicBool {
+        pub fn new(value: bool) -> Self {
+            let (exec, _) = exec::current();
+            let obj = exec::register_object(ObjState::Plain);
+            AtomicBool {
+                val: std::sync::atomic::AtomicBool::new(value),
+                obj,
+                exec,
+            }
+        }
+
+        pub fn load(&self) -> bool {
+            let (_, tid) = exec::current();
+            exec::yield_op(
+                &self.exec,
+                tid,
+                Op {
+                    kind: OpKind::AtomicLoad,
+                    obj: self.obj,
+                    obj2: NO_OBJ,
+                },
+            );
+            self.val.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, value: bool) {
+            let (_, tid) = exec::current();
+            exec::yield_op(
+                &self.exec,
+                tid,
+                Op {
+                    kind: OpKind::AtomicWrite,
+                    obj: self.obj,
+                    obj2: NO_OBJ,
+                },
+            );
+            self.val.store(value, Ordering::SeqCst)
+        }
+    }
+}

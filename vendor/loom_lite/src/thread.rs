@@ -1,0 +1,44 @@
+//! Virtual threads.  [`spawn`] registers a new virtual thread with the
+//! current execution; [`JoinHandle::join`] is a scheduling point enabled
+//! only once the target finished.  A panic on a virtual thread is reported
+//! through the execution's global failure (with the failing schedule), so
+//! `join` returns `()` rather than a `Result`.
+
+use crate::exec::{self, Op, OpKind};
+
+/// Handle to a virtual thread spawned with [`spawn`].
+pub struct JoinHandle {
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Blocks (as a scheduling point) until the target virtual thread has
+    /// finished.  Target panics abort the whole execution instead of being
+    /// returned here.
+    pub fn join(self) {
+        let (exec, tid) = exec::current();
+        let target_obj = {
+            let st = exec.state.lock().unwrap();
+            st.threads[self.tid].obj
+        };
+        exec::yield_op(
+            &exec,
+            tid,
+            Op {
+                kind: OpKind::Join,
+                obj: target_obj,
+                obj2: self.tid,
+            },
+        );
+    }
+}
+
+/// Spawns a virtual thread running `f`.  Must be called from inside
+/// [`crate::model`]; `f` runs serialized with all other virtual threads.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let tid = exec::spawn_vthread(Box::new(f));
+    JoinHandle { tid }
+}

@@ -30,6 +30,7 @@
 use std::sync::OnceLock;
 
 mod pool;
+pub mod steal;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};

@@ -10,6 +10,13 @@
 //! independent of which thread ran what and results are bit-identical across
 //! thread counts.
 //!
+//! The deque/steal/accounting protocol itself lives in [`crate::steal`] as
+//! [`StealCore`], generic over a synchronization facade — this module only
+//! adds the process-wide worker set, the announcement queue, and the
+//! raw-pointer scope discipline.  The split exists so the protocol can be
+//! instantiated under the `loom_lite` model checker and its 2–3-thread
+//! schedules explored exhaustively (see `crates/analysis`).
+//!
 //! # Scoped safety
 //!
 //! Jobs live on the dispatcher's stack and are published to workers as raw
@@ -28,10 +35,11 @@
 //! chunks are drained without running, and the dispatcher re-raises the
 //! payload on its own thread once every participant has detached.
 
+use crate::steal::{StdSync, StealCore};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Hard ceiling on spawned workers, guarding against absurd
@@ -45,13 +53,6 @@ const MAX_WORKERS: usize = 128;
 /// runs what.
 const CHUNKS_PER_PARTICIPANT: usize = 4;
 
-/// A contiguous range of task indices, the unit of stealing.
-#[derive(Clone, Copy)]
-struct Chunk {
-    start: usize,
-    end: usize,
-}
-
 /// A job published to the pool: an erased pointer plus the monomorphic entry
 /// points workers use to participate in it.
 struct Announcement {
@@ -60,8 +61,13 @@ struct Announcement {
     /// attach counter drains (see module docs).
     job: *const (),
     /// Bumps the job's attach counter; called under the queue lock.
+    // SAFETY: callers must pass the announcement's own `job` pointer while
+    // the announcement is still queued (the dispatcher keeps the job alive
+    // until retraction plus attach-drain).
     attach: unsafe fn(*const ()),
     /// Runs one participant to completion and detaches.
+    // SAFETY: same contract as `attach`; additionally the seat index must
+    // have been claimed from `seats` exactly once.
     enter: unsafe fn(*const (), usize),
     /// Participant seats not yet claimed by a worker.
     seats: Range<usize>,
@@ -120,6 +126,9 @@ impl Pool {
     }
 
     /// Publishes a job, offering `seats` to workers, and wakes the pool.
+    // SAFETY: of the passed fn pointers — the caller (the dispatcher) must
+    // keep `job` valid until it has retracted this announcement and waited
+    // for the attach counter to drain; see the module docs.
     fn announce(
         &'static self,
         job: *const (),
@@ -184,85 +193,34 @@ fn worker_loop(pool: &'static Pool) {
     }
 }
 
-/// An indexed scoped job: run `task(i)` exactly once for every
-/// `i in 0..n_items`, cooperatively across the dispatcher and any workers
-/// that claim a seat.
+/// An indexed scoped job: the generic steal protocol plus the erased task it
+/// runs.  `task(i)` executes exactly once for every `i in 0..n_items`,
+/// cooperatively across the dispatcher and any workers that claim a seat.
 struct IndexJob<'a> {
+    core: StealCore<StdSync>,
     task: &'a (dyn Fn(usize) + Sync),
-    /// One chunk deque per participant seat.
-    deques: Box<[Mutex<VecDeque<Chunk>>]>,
-    /// Items not yet executed or drained.
-    pending: AtomicUsize,
-    /// Workers currently inside [`IndexJob::participate`].
-    attached: AtomicUsize,
-    /// Set on the first panic; participants then drain instead of running.
-    abort: AtomicBool,
-    /// First captured panic payload, re-raised by the dispatcher.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    /// Dispatcher's completion latch (guards re-checks of the atomics).
-    done: Mutex<()>,
-    done_cv: Condvar,
-}
-
-impl IndexJob<'_> {
-    fn signal_done(&self) {
-        let _guard = self.done.lock().unwrap();
-        self.done_cv.notify_all();
-    }
-
-    /// One participant's work loop: LIFO pop from the own deque, FIFO steal
-    /// from the others, account every chunk taken.
-    fn participate(&self, seat: usize) {
-        let n_deques = self.deques.len();
-        loop {
-            // The own-deque guard must drop before stealing: holding it while
-            // locking a victim's deque would deadlock with a participant
-            // stealing in the opposite direction.  Each lock below is a
-            // statement-scoped temporary, so exactly one is held at a time.
-            let own = self.deques[seat].lock().unwrap().pop_back();
-            let chunk = match own {
-                Some(chunk) => Some(chunk),
-                None => (1..n_deques).find_map(|offset| {
-                    let victim = (seat + offset) % n_deques;
-                    self.deques[victim].lock().unwrap().pop_front()
-                }),
-            };
-            let Some(chunk) = chunk else { break };
-            if !self.abort.load(Ordering::Acquire) {
-                let run = panic::catch_unwind(AssertUnwindSafe(|| {
-                    for i in chunk.start..chunk.end {
-                        (self.task)(i);
-                    }
-                }));
-                if let Err(payload) = run {
-                    self.abort.store(true, Ordering::Release);
-                    let mut slot = self.panic.lock().unwrap();
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
-                }
-            }
-            let len = chunk.end - chunk.start;
-            if self.pending.fetch_sub(len, Ordering::AcqRel) == len {
-                self.signal_done();
-            }
-        }
-    }
 }
 
 /// Worker-side entry points for [`IndexJob`], monomorphic so the pool can
 /// hold them as plain fn pointers.
+///
+/// # Safety
+/// `job` must point at a live `IndexJob` whose dispatcher is still blocked in
+/// its drain loop; the caller (the worker loop) guarantees that by attaching
+/// under the queue lock before the dispatcher's retraction (module docs).
 unsafe fn index_attach(job: *const ()) {
     let job = &*(job as *const IndexJob<'_>);
-    job.attached.fetch_add(1, Ordering::AcqRel);
+    job.core.attach();
 }
 
+/// # Safety
+/// `job` must point at a live `IndexJob` previously passed to
+/// [`index_attach`]; the attach counter keeps the dispatcher blocked until
+/// the matching `detach` at the end of this call.
 unsafe fn index_enter(job: *const (), seat: usize) {
     let job = &*(job as *const IndexJob<'_>);
-    job.participate(seat);
-    if job.attached.fetch_sub(1, Ordering::AcqRel) == 1 {
-        job.signal_done();
-    }
+    job.core.participate(seat, job.task);
+    job.core.detach();
 }
 
 /// Runs `task(i)` for every `i in 0..n_items` across up to `threads`
@@ -276,31 +234,9 @@ pub(crate) fn dispatch(n_items: usize, threads: usize, task: &(dyn Fn(usize) + S
         return;
     }
     let participants = threads.min(n_items).min(MAX_WORKERS + 1);
-    let per = n_items.div_ceil(participants);
-    let chunk_len = per.div_ceil(CHUNKS_PER_PARTICIPANT).max(1);
-    let deques: Box<[Mutex<VecDeque<Chunk>>]> = (0..participants)
-        .map(|p| {
-            let lo = p * per;
-            let hi = ((p + 1) * per).min(n_items);
-            let mut deque = VecDeque::with_capacity(CHUNKS_PER_PARTICIPANT);
-            let mut start = lo;
-            while start < hi {
-                let end = (start + chunk_len).min(hi);
-                deque.push_back(Chunk { start, end });
-                start = end;
-            }
-            Mutex::new(deque)
-        })
-        .collect();
     let job = IndexJob {
+        core: StealCore::new(n_items, participants, CHUNKS_PER_PARTICIPANT),
         task,
-        deques,
-        pending: AtomicUsize::new(n_items),
-        attached: AtomicUsize::new(0),
-        abort: AtomicBool::new(false),
-        panic: Mutex::new(None),
-        done: Mutex::new(()),
-        done_cv: Condvar::new(),
     };
 
     let pool = pool();
@@ -311,17 +247,10 @@ pub(crate) fn dispatch(n_items: usize, threads: usize, task: &(dyn Fn(usize) + S
         index_enter,
         1..participants,
     );
-    job.participate(0);
+    job.core.participate(0, job.task);
     pool.retract(id);
-    {
-        let mut guard = job.done.lock().unwrap();
-        while job.pending.load(Ordering::Acquire) != 0 || job.attached.load(Ordering::Acquire) != 0
-        {
-            guard = job.done_cv.wait(guard).unwrap();
-        }
-    }
-    let payload = job.panic.lock().unwrap().take();
-    if let Some(payload) = payload {
+    job.core.wait_done();
+    if let Some(payload) = job.core.take_panic() {
         panic::resume_unwind(payload);
     }
 }
@@ -338,11 +267,18 @@ struct JoinJob<B, RB> {
     done_cv: Condvar,
 }
 
+/// # Safety
+/// `job` must point at a live `JoinJob<B, RB>` whose dispatcher is still
+/// blocked; guaranteed by attaching under the queue lock (module docs).
 unsafe fn join_attach<B, RB>(job: *const ()) {
     let job = &*(job as *const JoinJob<B, RB>);
     job.attached.fetch_add(1, Ordering::AcqRel);
 }
 
+/// # Safety
+/// `job` must point at a live `JoinJob<B, RB>` previously passed to
+/// [`join_attach`]; the attach counter keeps the dispatcher blocked until the
+/// detach at the end of this call.
 unsafe fn join_enter<B, RB>(job: *const (), _seat: usize)
 where
     B: FnOnce() -> RB,

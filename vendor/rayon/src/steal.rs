@@ -1,0 +1,430 @@
+//! The chunk-deque steal protocol, generic over a synchronization facade.
+//!
+//! This module is the verification seam of the pool: [`StealCore`] owns the
+//! per-participant chunk deques, the pending/attached accounting, the abort
+//! flag and the completion latch — everything `pool.rs` relies on for
+//! soundness — expressed against the [`SyncFacade`] trait family instead of
+//! concrete `std::sync` types.  Production code instantiates it with
+//! [`StdSync`] (plain `std` primitives, zero overhead); the `loom` feature
+//! adds a second instantiation over `loom_lite`'s virtual primitives so the
+//! analysis layer can exhaustively model-check 2–3-thread schedules of the
+//! very same protocol code (`crates/analysis/tests/loom_pool.rs`).
+//!
+//! # Memory-ordering audit
+//!
+//! No `Ordering::Relaxed` is used anywhere in the protocol; every atomic is
+//! a cross-thread handshake and needs the ordering it has:
+//!
+//! * `pending` — `AcqRel` on `fetch_sub`: the *release* makes each chunk's
+//!   task writes visible to whoever observes the counter hit zero, the
+//!   *acquire* makes prior decrements (and their writes) visible to the
+//!   participant that performs the final decrement and signals completion.
+//! * `attached` — `AcqRel` on `fetch_add`/`fetch_sub`: pairs attach (under
+//!   the pool's queue lock) with the dispatcher's drain loop, so the
+//!   dispatcher cannot observe `attached == 0` while a worker still holds a
+//!   reference to the stack-allocated job.
+//! * `abort` — `Release` store / `Acquire` load: the panic payload write
+//!   must be visible before any participant observes the flag and starts
+//!   draining.  A `Relaxed` pair would still abort eventually but could
+//!   reorder around the payload mutex on weakly-ordered hardware; the flag
+//!   is read once per chunk, so the stronger ordering costs nothing.
+//! * The dispatcher's completion re-check loads are `Acquire` so the task
+//!   writes of the final chunk are visible once `wait_done` returns.
+
+use std::collections::VecDeque;
+use std::ops::DerefMut;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+
+/// A contiguous range of task indices, the unit of stealing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First task index of the chunk (inclusive).
+    pub start: usize,
+    /// One past the last task index (exclusive).
+    pub end: usize,
+}
+
+/// `AtomicUsize` surface the protocol needs.
+pub trait AtomicUsizeApi {
+    /// Creates the atomic holding `v`.
+    fn new(v: usize) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> usize;
+    /// Atomic add; returns the previous value.
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize;
+    /// Atomic subtract; returns the previous value.
+    fn fetch_sub(&self, v: usize, order: Ordering) -> usize;
+}
+
+/// `AtomicBool` surface the protocol needs.
+pub trait AtomicBoolApi {
+    /// Creates the atomic holding `v`.
+    fn new(v: bool) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store.
+    fn store(&self, v: bool, order: Ordering);
+}
+
+/// Mutex surface the protocol needs (poisoning is ignored: the protocol
+/// catches task panics itself, so a poisoned lock only ever wraps state that
+/// is still consistent).
+pub trait MutexApi<T>: Sized {
+    /// The RAII guard type.
+    type Guard<'a>: DerefMut<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+    /// Creates the mutex holding `v`.
+    fn new(v: T) -> Self;
+    /// Acquires the lock.
+    fn lock(&self) -> Self::Guard<'_>;
+}
+
+/// Condvar surface the protocol needs, tied to the facade's mutex family.
+pub trait CondvarApi<F: SyncFacade>: Sized {
+    /// Creates the condvar.
+    fn new() -> Self;
+    /// Releases the guard's lock, blocks until notified, reacquires.
+    /// Callers must re-check their predicate in a loop (spurious wakeups).
+    fn wait<'a, T: Send>(
+        &self,
+        guard: <F::Mutex<T> as MutexApi<T>>::Guard<'a>,
+    ) -> <F::Mutex<T> as MutexApi<T>>::Guard<'a>;
+    /// Wakes every waiter.
+    fn notify_all(&self);
+}
+
+/// The family of synchronization primitives [`StealCore`] is generic over.
+pub trait SyncFacade: Sized + 'static {
+    /// `AtomicUsize` stand-in.
+    type AtomicUsize: AtomicUsizeApi + Send + Sync;
+    /// `AtomicBool` stand-in.
+    type AtomicBool: AtomicBoolApi + Send + Sync;
+    /// `Mutex<T>` stand-in.
+    type Mutex<T: Send>: MutexApi<T> + Send + Sync;
+    /// `Condvar` stand-in.
+    type Condvar: CondvarApi<Self> + Send + Sync;
+}
+
+/// The production facade: plain `std::sync` primitives.
+pub struct StdSync;
+
+impl AtomicUsizeApi for std::sync::atomic::AtomicUsize {
+    fn new(v: usize) -> Self {
+        Self::new(v)
+    }
+    fn load(&self, order: Ordering) -> usize {
+        self.load(order)
+    }
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        self.fetch_add(v, order)
+    }
+    fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        self.fetch_sub(v, order)
+    }
+}
+
+impl AtomicBoolApi for std::sync::atomic::AtomicBool {
+    fn new(v: bool) -> Self {
+        Self::new(v)
+    }
+    fn load(&self, order: Ordering) -> bool {
+        self.load(order)
+    }
+    fn store(&self, v: bool, order: Ordering) {
+        self.store(v, order)
+    }
+}
+
+impl<T> MutexApi<T> for std::sync::Mutex<T> {
+    type Guard<'a>
+        = std::sync::MutexGuard<'a, T>
+    where
+        Self: 'a,
+        T: 'a;
+    fn new(v: T) -> Self {
+        Self::new(v)
+    }
+    fn lock(&self) -> Self::Guard<'_> {
+        self.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl CondvarApi<StdSync> for std::sync::Condvar {
+    fn new() -> Self {
+        Self::new()
+    }
+    fn wait<'a, T: Send>(
+        &self,
+        guard: <<StdSync as SyncFacade>::Mutex<T> as MutexApi<T>>::Guard<'a>,
+    ) -> <<StdSync as SyncFacade>::Mutex<T> as MutexApi<T>>::Guard<'a> {
+        self.wait(guard).unwrap_or_else(|p| p.into_inner())
+    }
+    fn notify_all(&self) {
+        self.notify_all()
+    }
+}
+
+impl SyncFacade for StdSync {
+    type AtomicUsize = std::sync::atomic::AtomicUsize;
+    type AtomicBool = std::sync::atomic::AtomicBool;
+    type Mutex<T: Send> = std::sync::Mutex<T>;
+    type Condvar = std::sync::Condvar;
+}
+
+/// First captured panic payload of an aborted job.
+pub type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// The steal-protocol state of one indexed job: per-participant chunk
+/// deques plus the accounting that tells the dispatcher when the job is
+/// complete and every participant has let go of it.
+///
+/// Lifecycle (mirrors `pool::dispatch`):
+/// 1. the dispatcher builds the core with every chunk pre-pushed;
+/// 2. each worker that will participate is [`attach`](Self::attach)ed
+///    *before* the dispatcher could observe it absent (in the pool, under
+///    the announcement-queue lock);
+/// 3. participants run [`participate`](Self::participate) and then
+///    [`detach`](Self::detach); the dispatcher participates directly and
+///    then blocks in [`wait_done`](Self::wait_done);
+/// 4. `wait_done` returns only once every task index is accounted for and
+///    the attach counter has drained, after which the dispatcher may
+///    inspect [`take_panic`](Self::take_panic) and free the core.
+pub struct StealCore<F: SyncFacade> {
+    /// One chunk deque per participant seat: owner pops the back (LIFO,
+    /// cache-warm), thieves pop the front (FIFO, the coldest chunk).
+    deques: Box<[F::Mutex<VecDeque<Chunk>>]>,
+    /// Task indices not yet executed or drained.
+    pending: F::AtomicUsize,
+    /// Participants currently attached (holding a reference to the core).
+    attached: F::AtomicUsize,
+    /// Set on the first panic; participants then drain instead of running.
+    abort: F::AtomicBool,
+    /// First captured panic payload, re-raised by the dispatcher.
+    panic: F::Mutex<Option<PanicPayload>>,
+    /// Completion latch guarding re-checks of the two counters.
+    done: F::Mutex<()>,
+    done_cv: F::Condvar,
+}
+
+impl<F: SyncFacade> StealCore<F> {
+    /// Builds a core whose `n_items` indices are split evenly across
+    /// `participants` seats, each seat's range further split into up to
+    /// `chunks_per_participant` steal units.
+    ///
+    /// Chunk boundaries never influence results (tasks are keyed by index),
+    /// only who runs what.
+    pub fn new(n_items: usize, participants: usize, chunks_per_participant: usize) -> Self {
+        assert!(participants > 0, "at least one participant seat");
+        let per = n_items.div_ceil(participants);
+        let chunk_len = per.div_ceil(chunks_per_participant.max(1)).max(1);
+        let deques: Vec<VecDeque<Chunk>> = (0..participants)
+            .map(|p| {
+                let lo = (p * per).min(n_items);
+                let hi = ((p + 1) * per).min(n_items);
+                let mut deque = VecDeque::with_capacity(chunks_per_participant);
+                let mut start = lo;
+                while start < hi {
+                    let end = (start + chunk_len).min(hi);
+                    deque.push_back(Chunk { start, end });
+                    start = end;
+                }
+                deque
+            })
+            .collect();
+        Self::from_chunks(deques)
+    }
+
+    /// Builds a core from explicit per-seat deques (model-checking scenarios
+    /// use this to stage uneven seats, e.g. pure thieves with empty deques).
+    pub fn from_chunks(deques: Vec<VecDeque<Chunk>>) -> Self {
+        let n_items: usize = deques
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|c| c.end - c.start)
+            .sum();
+        StealCore {
+            deques: deques.into_iter().map(F::Mutex::new).collect(),
+            pending: F::AtomicUsize::new(n_items),
+            attached: F::AtomicUsize::new(0),
+            abort: F::AtomicBool::new(false),
+            panic: F::Mutex::new(None),
+            done: F::Mutex::new(()),
+            done_cv: F::Condvar::new(),
+        }
+    }
+
+    /// Number of participant seats.
+    pub fn seats(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Registers a participant the dispatcher must wait for.  In the pool
+    /// this runs under the announcement-queue lock, before the dispatcher's
+    /// retraction — that is what makes the subsequent [`detach`] observable
+    /// to [`wait_done`].
+    pub fn attach(&self) {
+        self.attached.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Unregisters a participant; the last one out signals the dispatcher.
+    pub fn detach(&self) {
+        if self.attached.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.signal_done();
+        }
+    }
+
+    fn signal_done(&self) {
+        let _guard = self.done.lock();
+        self.done_cv.notify_all();
+    }
+
+    /// One participant's work loop: LIFO pop from the own deque, FIFO steal
+    /// from the others, account every chunk taken.  Task panics are caught,
+    /// the first payload is stored, and remaining chunks are drained without
+    /// running (each still accounted, so `pending` always reaches zero).
+    pub fn participate(&self, seat: usize, task: &(dyn Fn(usize) + Sync)) {
+        let n_deques = self.deques.len();
+        loop {
+            // The own-deque guard must drop before stealing: holding it
+            // while locking a victim's deque would deadlock with a
+            // participant stealing in the opposite direction.  Each lock
+            // below is a statement-scoped temporary, so exactly one is held
+            // at a time.
+            let own = self.deques[seat].lock().pop_back();
+            let chunk = match own {
+                Some(chunk) => Some(chunk),
+                None => (1..n_deques).find_map(|offset| {
+                    let victim = (seat + offset) % n_deques;
+                    self.deques[victim].lock().pop_front()
+                }),
+            };
+            let Some(chunk) = chunk else { break };
+            if !self.abort.load(Ordering::Acquire) {
+                let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                    for i in chunk.start..chunk.end {
+                        task(i);
+                    }
+                }));
+                if let Err(payload) = run {
+                    self.abort.store(true, Ordering::Release);
+                    let mut slot = self.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let len = chunk.end - chunk.start;
+            if self.pending.fetch_sub(len, Ordering::AcqRel) == len {
+                self.signal_done();
+            }
+        }
+    }
+
+    /// Blocks until every task index is accounted for *and* every attached
+    /// participant has detached.  Only after this returns may the core be
+    /// dropped — detached participants hold no reference to it.
+    pub fn wait_done(&self) {
+        let mut guard = self.done.lock();
+        while self.pending.load(Ordering::Acquire) != 0
+            || self.attached.load(Ordering::Acquire) != 0
+        {
+            guard = self.done_cv.wait(guard);
+        }
+        drop(guard);
+    }
+
+    /// Takes the first captured task panic, if any ran into one.
+    pub fn take_panic(&self) -> Option<PanicPayload> {
+        self.panic.lock().take()
+    }
+
+    /// Remaining unaccounted task indices (0 once the job is complete).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Currently attached participants (0 once the job is complete).
+    pub fn attached_count(&self) -> usize {
+        self.attached.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(feature = "loom")]
+mod loom_facade {
+    //! [`SyncFacade`] instantiation over `loom_lite`'s virtual primitives,
+    //! so `StealCore<LoomSync>` runs under the exhaustive schedule explorer.
+    use super::{AtomicBoolApi, AtomicUsizeApi, CondvarApi, MutexApi, SyncFacade};
+    use std::sync::atomic::Ordering;
+
+    /// The model-checking facade (`loom` feature only).
+    pub struct LoomSync;
+
+    impl AtomicUsizeApi for loom_lite::sync::atomic::AtomicUsize {
+        fn new(v: usize) -> Self {
+            Self::new(v)
+        }
+        fn load(&self, _order: Ordering) -> usize {
+            self.load()
+        }
+        fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+            self.fetch_add(v)
+        }
+        fn fetch_sub(&self, v: usize, _order: Ordering) -> usize {
+            self.fetch_sub(v)
+        }
+    }
+
+    impl AtomicBoolApi for loom_lite::sync::atomic::AtomicBool {
+        fn new(v: bool) -> Self {
+            Self::new(v)
+        }
+        fn load(&self, _order: Ordering) -> bool {
+            self.load()
+        }
+        fn store(&self, v: bool, _order: Ordering) {
+            self.store(v)
+        }
+    }
+
+    impl<T> MutexApi<T> for loom_lite::sync::Mutex<T> {
+        type Guard<'a>
+            = loom_lite::sync::MutexGuard<'a, T>
+        where
+            Self: 'a,
+            T: 'a;
+        fn new(v: T) -> Self {
+            Self::new(v)
+        }
+        fn lock(&self) -> Self::Guard<'_> {
+            self.lock()
+        }
+    }
+
+    impl CondvarApi<LoomSync> for loom_lite::sync::Condvar {
+        fn new() -> Self {
+            Self::new()
+        }
+        fn wait<'a, T: Send>(
+            &self,
+            guard: <<LoomSync as SyncFacade>::Mutex<T> as MutexApi<T>>::Guard<'a>,
+        ) -> <<LoomSync as SyncFacade>::Mutex<T> as MutexApi<T>>::Guard<'a> {
+            self.wait(guard)
+        }
+        fn notify_all(&self) {
+            self.notify_all()
+        }
+    }
+
+    impl SyncFacade for LoomSync {
+        type AtomicUsize = loom_lite::sync::atomic::AtomicUsize;
+        type AtomicBool = loom_lite::sync::atomic::AtomicBool;
+        type Mutex<T: Send> = loom_lite::sync::Mutex<T>;
+        type Condvar = loom_lite::sync::Condvar;
+    }
+}
+
+#[cfg(feature = "loom")]
+pub use loom_facade::LoomSync;
