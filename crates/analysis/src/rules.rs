@@ -5,7 +5,7 @@
 //! |------|-------------|
 //! | `twin-kernel` | every fn calling a `par_*` primitive has a `<name>_serial` twin in its crate, or a test exercising it under `with_forced_threads` |
 //! | `nondet-iteration` | no `HashMap`/`HashSet` in files that serialize reports (iteration order would leak into artifacts) |
-//! | `wall-clock` | no `std::thread::spawn` / `Instant` / `SystemTime` outside `vendor/rayon` and `crates/bench` |
+//! | `wall-clock` | no `std::thread::spawn` / `Instant` / `SystemTime` outside `crates/telemetry`, `vendor/rayon` and `crates/bench` |
 //! | `undocumented-unsafe` | every `unsafe` is preceded by a `SAFETY:` (or `# Safety`) comment |
 //! | `par-float-reduction` | float reductions inside parallel kernels only in the blessed allowlist (each blessed kernel has a bit-identity test) |
 //!
@@ -304,7 +304,10 @@ impl Workspace {
     fn check_wall_clock(&self) -> Vec<Violation> {
         let mut out = Vec::new();
         for file in &self.files {
-            if !file.path.starts_with("crates/") || file.path.starts_with("crates/bench/") {
+            if !file.path.starts_with("crates/")
+                || file.path.starts_with("crates/bench/")
+                || file.path.starts_with("crates/telemetry/")
+            {
                 continue;
             }
             let toks = &file.tokens;
@@ -335,8 +338,9 @@ impl Workspace {
                         line: t.line,
                         rule: "wall-clock".into(),
                         message: format!(
-                            "`{}` outside vendor/rayon and crates/bench: wall-clock and \
-                             ad-hoc threads make runs unreproducible",
+                            "`{}` outside ppfr_telemetry, vendor/rayon and crates/bench: \
+                             wall-clock and ad-hoc threads make runs unreproducible — time \
+                             things through `ppfr_telemetry` instead",
                             t.text
                         ),
                     });

@@ -1,7 +1,15 @@
-//! Fixture: wall-clock time outside `crates/bench`.  Trips `wall-clock`
-//! (once: `Instant` appears on one line) and nothing else.
+//! Fixture: wall-clock time outside the sanctioned crates.  Trips
+//! `wall-clock` twice (`Instant` and `SystemTime` once each) and nothing
+//! else.
 
 pub fn elapsed_ms() -> u128 {
     let started = std::time::Instant::now();
     started.elapsed().as_millis()
+}
+
+pub fn stamp_secs() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
 }

@@ -46,8 +46,22 @@ fn nondet_iteration_fixture_trips_exactly_that_rule() {
 #[test]
 fn wall_clock_fixture_trips_exactly_that_rule() {
     let v = lint_fixture(include_str!("fixtures/wall_clock.rs"));
-    assert_eq!(assert_only_rule(&v, "wall-clock"), 1);
+    assert_eq!(assert_only_rule(&v, "wall-clock"), 2);
     assert!(v[0].message.contains("Instant"));
+    assert!(v[1].message.contains("SystemTime"));
+}
+
+#[test]
+fn wall_clock_exempts_the_telemetry_crate() {
+    // `crates/telemetry` is the sanctioned home of wall-clock reads: the
+    // same source that trips the rule under a normal crate path is clean
+    // there (and under `crates/bench/`, the other exemption).
+    for path in ["crates/telemetry/src/lib.rs", "crates/bench/src/lib.rs"] {
+        let mut ws = Workspace::new();
+        ws.add_file(path, include_str!("fixtures/wall_clock.rs"));
+        let v = ws.run();
+        assert!(v.is_empty(), "{path} must be exempt, got {v:?}");
+    }
 }
 
 #[test]

@@ -124,6 +124,7 @@ impl ThreatAuditor {
     /// Audits one posterior matrix against the unsupervised baseline and the
     /// full supervised threat-model grid.
     pub fn audit(&mut self, probs: &Matrix) -> ThreatGridReport {
+        let _span = ppfr_telemetry::span!("attack_grid");
         // One distance pass feeds both the unsupervised report and the
         // supervised feature extraction.
         let unsupervised = self.evaluator.evaluate(probs);

@@ -178,6 +178,7 @@ impl TrainedAttack {
     /// [`PairFeatureTable::is_positive`]).  Degenerate training sets (one
     /// class or empty) yield a chance-level scorer instead of panicking.
     pub fn fit(table: &PairFeatureTable, train_indices: &[usize], cfg: &AttackTrainConfig) -> Self {
+        let _span = ppfr_telemetry::span!("attack_classifier");
         let d = table.n_channels();
         let pos: Vec<usize> = train_indices
             .iter()

@@ -118,6 +118,7 @@ impl PairFeatureTable {
         features: Option<&Matrix>,
         parallel: bool,
     ) -> Self {
+        let _span = ppfr_telemetry::span!("attack_features");
         let n_pos = sample.positives.len();
         let n_neg = sample.negatives.len();
         assert_eq!(

@@ -14,10 +14,10 @@ use ppfr_influence::hessian_vector_product;
 use ppfr_linalg::parallel::{current_num_threads, with_forced_threads};
 use ppfr_linalg::{row_softmax, Matrix};
 use ppfr_privacy::AttackEvaluator;
+use ppfr_telemetry::Stopwatch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
-use std::time::Instant;
 
 /// One kernel's serial-vs-parallel wall-clock comparison.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -149,13 +149,14 @@ pub struct MicrokernelBench {
     pub speedup: f64,
 }
 
-/// Best-of-`reps` wall time of `f`, in milliseconds.
+/// Best-of-`reps` wall time of `f`, in milliseconds — through the telemetry
+/// [`Stopwatch`], the single wall-clock primitive of the workspace.
 fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let t = Instant::now();
+        let sw = Stopwatch::new();
         std::hint::black_box(f());
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        best = best.min(sw.elapsed_ms());
     }
     best
 }
@@ -445,12 +446,8 @@ fn main() {
             ExperimentScale::Smoke => ScenarioSpec::bench_small().with_seeds(&[7, 11]),
         };
         let cache = ArtifactCache::new();
-        let t = Instant::now();
-        let cold_report = run_scenario(&spec, &cache);
-        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
-        let t = Instant::now();
-        let warm_report = run_scenario(&spec, &cache);
-        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        let (cold_report, cold_ms) = ppfr_telemetry::time_ms(|| run_scenario(&spec, &cache));
+        let (warm_report, warm_ms) = ppfr_telemetry::time_ms(|| run_scenario(&spec, &cache));
         assert_eq!(
             cold_report.to_json(),
             warm_report.to_json(),
@@ -621,10 +618,10 @@ fn main() {
     // rule suddenly firing, a scenario losing exhaustiveness) show up in the
     // same artifact as the kernel numbers.
     let analysis = {
-        let lint_started = Instant::now();
-        let scan = ppfr_analysis::scan_workspace(std::path::Path::new("."))
-            .expect("ppfr_lint scan (run from the repo root)");
-        let lint_ms = lint_started.elapsed().as_secs_f64() * 1e3;
+        let (scan, lint_ms) = ppfr_telemetry::time_ms(|| {
+            ppfr_analysis::scan_workspace(std::path::Path::new("."))
+                .expect("ppfr_lint scan (run from the repo root)")
+        });
         println!(
             "\nppfr_lint                {:>4} file(s)         {:>4} violation(s)     {:>9.1} ms",
             scan.files_scanned,

@@ -34,12 +34,6 @@ fn main() {
     );
     let cache = ArtifactCache::new();
     let report = run_scenario(&spec, &cache);
-    println!("{}", report.to_table_string());
-    println!(
-        "artifact cache: {} bundles, {} hits / {} misses\n",
-        cache.len(),
-        cache.hits(),
-        cache.misses()
-    );
+    println!("{}", report.to_table_string_with_cache(&cache.stats()));
     println!("{}", report.to_json());
 }

@@ -112,9 +112,16 @@ pub fn evaluate_with(
     cfg: &PpfrConfig,
     auditor: &mut ThreatAuditor,
 ) -> Evaluation {
-    let probs = predictions(outcome, cfg);
+    let _span = ppfr_telemetry::span!("evaluate");
+    let probs = {
+        let _predict = ppfr_telemetry::span!("predict");
+        predictions(outcome, cfg)
+    };
     let accuracy = ppfr_nn::accuracy(&probs, &dataset.labels, &dataset.splits.test);
-    let bias_value = bias(&probs, &outcome.similarity_laplacian);
+    let bias_value = {
+        let _bias = ppfr_telemetry::span!("bias");
+        bias(&probs, &outcome.similarity_laplacian)
+    };
     let grid = auditor.audit(&probs);
     Evaluation {
         accuracy,

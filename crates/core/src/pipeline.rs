@@ -138,6 +138,7 @@ pub fn run_method_from_vanilla(
     cfg: &PpfrConfig,
     vanilla: Option<&TrainedOutcome>,
 ) -> TrainedOutcome {
+    let _span = ppfr_telemetry::span!("run_method");
     if let Some(checkpoint) = vanilla {
         assert_eq!(
             checkpoint.method,

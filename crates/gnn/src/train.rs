@@ -142,10 +142,12 @@ pub fn train_with_workspace(
         weights.len(),
         "one weight per training node"
     );
+    let _span = ppfr_telemetry::span!("train");
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut params = model.params();
     let mut loss_history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = ppfr_telemetry::span!("train_epoch");
         model.resample(ctx, cfg.seed.wrapping_add(epoch as u64));
         model.forward_ws(ctx, ws);
         let loss = weighted_cross_entropy_into(

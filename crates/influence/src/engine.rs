@@ -63,6 +63,7 @@ pub fn influence_on(
     grad_f: &[f64],
     cfg: &InfluenceConfig,
 ) -> Vec<f64> {
+    let _span = ppfr_telemetry::span!("influence");
     let mut scratch = HvpScratch::new(model);
     let apply = |v: &[f64]| {
         hessian_vector_product_with(

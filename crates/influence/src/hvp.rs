@@ -163,15 +163,21 @@ pub fn conjugate_gradient(
     max_iters: usize,
     tol: f64,
 ) -> Vec<f64> {
+    static CG_ITERS: ppfr_telemetry::Histogram =
+        ppfr_telemetry::Histogram::new("influence.cg_iters");
+    let _span = ppfr_telemetry::span!("influence_cg");
     let n = b.len();
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut p = r.clone();
     let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
     if rs_old.sqrt() < tol {
+        CG_ITERS.record(0);
         return x;
     }
+    let mut iters = 0u64;
     for _ in 0..max_iters {
+        iters += 1;
         let ap = apply(&p);
         let p_ap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();
         if p_ap.abs() <= f64::EPSILON {
@@ -192,6 +198,7 @@ pub fn conjugate_gradient(
         }
         rs_old = rs_new;
     }
+    CG_ITERS.record(iters);
     x
 }
 

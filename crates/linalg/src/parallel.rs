@@ -53,6 +53,29 @@ fn plan_workers(n_items: usize) -> usize {
         .max(1)
 }
 
+static DISPATCH_POOL: ppfr_telemetry::Counter =
+    ppfr_telemetry::Counter::new("linalg.dispatch.pool");
+static DISPATCH_SERIAL: ppfr_telemetry::Counter =
+    ppfr_telemetry::Counter::new("linalg.dispatch.serial");
+
+/// Records one dispatch decision (pool vs serial fast path) in the telemetry
+/// metrics, and — on the first recorded decision — switches the vendored
+/// pool's own statistics counters on, so steal/park counts accompany the
+/// dispatch counts in every export.  A single static branch when telemetry
+/// is disabled; recording never influences the decision itself.
+fn note_dispatch(pool: bool) {
+    if !ppfr_telemetry::enabled() {
+        return;
+    }
+    static ENABLE_POOL_STATS: std::sync::Once = std::sync::Once::new();
+    ENABLE_POOL_STATS.call_once(|| rayon::set_pool_stats_enabled(true));
+    if pool {
+        DISPATCH_POOL.incr();
+    } else {
+        DISPATCH_SERIAL.incr();
+    }
+}
+
 /// A raw pointer that may cross thread boundaries; each pool task derives
 /// its own disjoint sub-slice (or slot) from it by index.
 struct SendPtr<T>(*mut T);
@@ -102,6 +125,7 @@ pub fn par_chunks(data: &mut [f64], chunk_len: usize, f: impl Fn(usize, &mut [f6
     );
     let n_chunks = data.len() / chunk_len;
     let threads = plan_workers(n_chunks);
+    note_dispatch(threads > 1);
     if threads <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
@@ -152,6 +176,7 @@ pub fn par_row_blocks(
     let block_len = rows_per_block * row_len;
     let n_blocks = n_rows.div_ceil(rows_per_block);
     let threads = plan_workers(n_rows).min(n_blocks.max(1));
+    note_dispatch(threads > 1);
     if threads <= 1 {
         for (b, block) in data.chunks_mut(block_len).enumerate() {
             f(b * rows_per_block, block);
@@ -177,6 +202,7 @@ pub fn par_row_blocks(
 /// are bit-identical.
 pub fn par_fill(out: &mut [f64], f: impl Fn(usize) -> f64 + Sync) {
     let threads = plan_workers(out.len());
+    note_dispatch(threads > 1);
     if threads <= 1 {
         for (i, o) in out.iter_mut().enumerate() {
             *o = f(i);
@@ -199,6 +225,7 @@ pub fn par_fill(out: &mut [f64], f: impl Fn(usize) -> f64 + Sync) {
 /// of applying [`MIN_ITEMS_PER_WORKER`].
 pub fn par_rows<T: Send>(n_rows: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let threads = current_num_threads().min(n_rows);
+    note_dispatch(threads > 1);
     if threads <= 1 {
         return (0..n_rows).map(f).collect();
     }

@@ -268,6 +268,17 @@ impl MatrixReport {
         }
         out
     }
+
+    /// [`Self::to_table_string`] plus a trailing artifact-cache summary line.
+    /// The cache tallies ride along in the human-readable rendering only —
+    /// the serialised report must stay bit-identical between cold and
+    /// cache-warm runs, so they never enter [`Self::to_json`].
+    pub fn to_table_string_with_cache(&self, cache: &crate::cache::CacheStats) -> String {
+        let mut out = self.to_table_string();
+        out.push_str(&cache.summary_line());
+        out.push('\n');
+        out
+    }
 }
 
 #[cfg(test)]

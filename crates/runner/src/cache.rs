@@ -109,6 +109,50 @@ impl ArtifactCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshot of the cache tallies, for summary output.  Read it at
+    /// quiescence (after the scenario run returns) — the tallies are relaxed
+    /// statistics, not synchronised with in-flight builds.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
+    }
+}
+
+/// Hit/miss/entry tallies of an [`ArtifactCache`], as surfaced in runner
+/// summaries.  Deliberately *not* part of the serialised [`MatrixReport`]:
+/// the report is pinned bit-identical between cold and cache-warm runs,
+/// which these tallies are not.
+///
+/// [`MatrixReport`]: crate::MatrixReport
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached artifact bundles.
+    pub entries: usize,
+    /// Fetches served from the cache.
+    pub hits: usize,
+    /// Fetches that had to build (= bundles ever built).
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// One-line human-readable summary, e.g.
+    /// `artifact cache: 4 entries, 0 hits, 4 misses (hit rate 0%)`.
+    pub fn summary_line(&self) -> String {
+        let total = self.hits + self.misses;
+        let rate = if total > 0 {
+            100.0 * self.hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        format!(
+            "artifact cache: {} entries, {} hits, {} misses (hit rate {rate:.0}%)",
+            self.entries, self.hits, self.misses
+        )
+    }
 }
 
 #[cfg(test)]

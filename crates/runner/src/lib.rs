@@ -40,7 +40,7 @@ mod runner;
 mod spec;
 
 pub use aggregate::{aggregate, MatrixReport, MetricStats, RunSummary, SeedRun};
-pub use cache::ArtifactCache;
+pub use cache::{ArtifactCache, CacheStats};
 pub use multi::{
     accuracy_view, fig4_view, fig6_multi, table3_view, CurvePointStats, CurveStats, Fig6MultiResult,
 };

@@ -17,6 +17,7 @@ use ppfr_linalg::parallel::par_rows;
 /// Executes every run of one group against its (possibly cached) shared
 /// artifacts.
 fn run_group(spec: &ScenarioSpec, group: &RunGroup, cache: &ArtifactCache) -> Vec<SeedRun> {
+    let _span = ppfr_telemetry::span!("runner_group");
     let cfg = spec.config_for_seed(group.seed);
     let dataset_spec = &spec.datasets[group.dataset_index];
     let bundle = cache.get_or_build(
@@ -29,6 +30,7 @@ fn run_group(spec: &ScenarioSpec, group: &RunGroup, cache: &ArtifactCache) -> Ve
     let mut runs = Vec::with_capacity(spec.models.len() * spec.methods.len());
     for &kind in &spec.models {
         for &method in &spec.methods {
+            let _cell_span = ppfr_telemetry::span!("runner_cell");
             let cell = artifacts.cell(kind, method, &cfg);
             runs.push(SeedRun {
                 dataset: cell.run.dataset.clone(),
@@ -44,8 +46,23 @@ fn run_group(spec: &ScenarioSpec, group: &RunGroup, cache: &ArtifactCache) -> Ve
 }
 
 fn finish(spec: &ScenarioSpec, per_group: Vec<Vec<SeedRun>>) -> MatrixReport {
+    let _span = ppfr_telemetry::span!("aggregate");
     let runs: Vec<SeedRun> = per_group.into_iter().flatten().collect();
     aggregate(&spec.name, &spec.seeds, runs)
+}
+
+/// Publishes the cache tallies as telemetry gauges, from the orchestrating
+/// thread after the run quiesced (gauges are last-write-wins and expect a
+/// single writer).  Never enters the serialised [`MatrixReport`] — that is
+/// pinned bit-identical between cold and warm runs, which tallies are not.
+fn publish_cache_gauges(cache: &ArtifactCache) {
+    static HITS: ppfr_telemetry::Gauge = ppfr_telemetry::Gauge::new("runner.cache.hits");
+    static MISSES: ppfr_telemetry::Gauge = ppfr_telemetry::Gauge::new("runner.cache.misses");
+    static ENTRIES: ppfr_telemetry::Gauge = ppfr_telemetry::Gauge::new("runner.cache.entries");
+    let stats = cache.stats();
+    HITS.set(stats.hits as f64);
+    MISSES.set(stats.misses as f64);
+    ENTRIES.set(stats.entries as f64);
 }
 
 /// Executes the scenario's full run matrix, groups in parallel.
@@ -55,10 +72,12 @@ fn finish(spec: &ScenarioSpec, per_group: Vec<Vec<SeedRun>>) -> MatrixReport {
 pub fn run_scenario(spec: &ScenarioSpec, cache: &ArtifactCache) -> MatrixReport {
     spec.validate().expect("valid scenario");
     let groups = spec.groups();
-    finish(
+    let report = finish(
         spec,
         par_rows(groups.len(), |g| run_group(spec, &groups[g], cache)),
-    )
+    );
+    publish_cache_gauges(cache);
+    report
 }
 
 /// The serial twin of [`run_scenario`]: identical results, one group at a
@@ -66,13 +85,15 @@ pub fn run_scenario(spec: &ScenarioSpec, cache: &ArtifactCache) -> MatrixReport 
 /// spawn worker threads.
 pub fn run_scenario_serial(spec: &ScenarioSpec, cache: &ArtifactCache) -> MatrixReport {
     spec.validate().expect("valid scenario");
-    finish(
+    let report = finish(
         spec,
         spec.groups()
             .iter()
             .map(|g| run_group(spec, g, cache))
             .collect(),
-    )
+    );
+    publish_cache_gauges(cache);
+    report
 }
 
 #[cfg(test)]

@@ -1,0 +1,390 @@
+//! The lock-free sharded metrics registry.
+//!
+//! Metric handles ([`Counter`], [`Gauge`], [`Histogram`]) are const-
+//! constructible so instrumented crates declare them as statics:
+//!
+//! ```
+//! use ppfr_telemetry::Counter;
+//! static STEALS: Counter = Counter::new("pool.steals");
+//! STEALS.incr();
+//! ```
+//!
+//! On first use a handle interns its name in the global registry (one mutex
+//! lock per metric per process) and caches the assigned slot range in a
+//! `OnceLock`.  After that the hot path is lock-free: a branch on the
+//! telemetry gate, a thread-local shard lookup and a `Relaxed` atomic add
+//! into the calling thread's own slots.  `Relaxed` is deliberate and safe
+//! here: the slots are pure statistics, never used to order access to other
+//! data, and [`snapshot`] is meant to run at quiescence (after the measured
+//! workload returns).
+//!
+//! Shards are merged in canonical sorted-name order, and counters/histograms
+//! merge by commutative addition — so a snapshot of a deterministic workload
+//! is identical no matter how many pool threads recorded into it (pinned by
+//! the forced-`PPFR_NUM_THREADS` tests in `tests/metrics_core.rs`).
+
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Total atomic slots per thread shard; metric registration panics past it.
+const MAX_SLOTS: usize = 4096;
+
+/// Power-of-two histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)`, the last bucket clamps everything above.
+const HIST_BUCKETS: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    /// Slots a metric of this kind occupies in a shard.
+    fn width(self) -> usize {
+        match self {
+            Kind::Counter => 1,
+            // Value bits + last-write sequence number.
+            Kind::Gauge => 2,
+            // Buckets + count + sum.
+            Kind::Histogram => HIST_BUCKETS + 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: &'static str,
+    kind: Kind,
+    base: usize,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    entries: Vec<Entry>,
+    next_slot: usize,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    entries: Vec::new(),
+    next_slot: 0,
+});
+
+/// Interns `name`, returning its base slot.  Re-registering an existing name
+/// returns the existing slots (two statics may share a metric) but panics on
+/// a kind mismatch — that is always an instrumentation bug.
+fn register(name: &'static str, kind: Kind) -> usize {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(e) = reg.entries.iter().find(|e| e.name == name) {
+        assert_eq!(
+            e.kind, kind,
+            "metric `{name}` registered twice with different kinds"
+        );
+        return e.base;
+    }
+    let base = reg.next_slot;
+    assert!(
+        base + kind.width() <= MAX_SLOTS,
+        "metric registry overflow at `{name}`: raise MAX_SLOTS"
+    );
+    reg.next_slot = base + kind.width();
+    reg.entries.push(Entry { name, kind, base });
+    base
+}
+
+/// One thread's slot array.  Only the owning thread writes; the snapshotter
+/// reads concurrently, which the atomics make well-defined.
+struct Shard {
+    slots: Box<[AtomicU64]>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            slots: (0..MAX_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Every shard ever created, kept alive past thread exit so late snapshots
+/// still see a finished worker's contributions.
+static SHARDS: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<Shard>> = const { OnceCell::new() };
+}
+
+/// Runs `f` against the calling thread's slots, creating + globally
+/// registering the shard on first use.
+fn with_slots<T>(f: impl FnOnce(&[AtomicU64]) -> T) -> T {
+    LOCAL.with(|cell| {
+        let shard = cell.get_or_init(|| {
+            let shard = Arc::new(Shard::new());
+            SHARDS
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::clone(&shard));
+            shard
+        });
+        f(&shard.slots)
+    })
+}
+
+/// Monotone stamp for gauge writes, so the merge can pick the latest.
+static GAUGE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Resolves a handle's slot, interning on first use.
+fn slot_of(cache: &OnceLock<usize>, name: &'static str, kind: Kind) -> usize {
+    *cache.get_or_init(|| register(name, kind))
+}
+
+/// A monotonically increasing sum, merged across threads by addition.
+pub struct Counter {
+    name: &'static str,
+    slot: OnceLock<usize>,
+}
+
+impl Counter {
+    /// Const constructor, for `static` declarations at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n`.  No-op (one static branch) when telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let base = slot_of(&self.slot, self.name, Kind::Counter);
+        with_slots(|slots| slots[base].fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A last-write-wins float value.  Single-writer by convention: set it from
+/// one (serial) context per workload — concurrent setters race benignly but
+/// make "last" meaningless.
+pub struct Gauge {
+    name: &'static str,
+    slot: OnceLock<usize>,
+}
+
+impl Gauge {
+    /// Const constructor, for `static` declarations at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Sets the value.  No-op (one static branch) when telemetry is disabled.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let base = slot_of(&self.slot, self.name, Kind::Gauge);
+        let seq = GAUGE_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+        with_slots(|slots| {
+            slots[base].store(value.to_bits(), Ordering::Relaxed);
+            slots[base + 1].store(seq, Ordering::Relaxed);
+        });
+    }
+}
+
+/// A fixed log-bucket (powers of two) histogram of `u64` samples.
+pub struct Histogram {
+    name: &'static str,
+    slot: OnceLock<usize>,
+}
+
+impl Histogram {
+    /// Const constructor, for `static` declarations at the call site.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Records one sample.  No-op (one static branch) when disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let base = slot_of(&self.slot, self.name, Kind::Histogram);
+        let bucket = bucket_index(value);
+        with_slots(|slots| {
+            slots[base + bucket].fetch_add(1, Ordering::Relaxed);
+            slots[base + HIST_BUCKETS].fetch_add(1, Ordering::Relaxed);
+            slots[base + HIST_BUCKETS + 1].fetch_add(value, Ordering::Relaxed);
+        });
+    }
+}
+
+/// Bucket of a sample: 0 for zero, else `64 − leading_zeros` clamped into
+/// the last bucket, i.e. bucket `i ≥ 1` covers `[2^(i-1), 2^i)`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket, for reporting.
+fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= HIST_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A merged histogram in a [`snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramValue {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// `(inclusive upper bound, count)` per non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One merged metric value in a [`snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Sum over all thread shards.
+    Counter(u64),
+    /// Latest value written (by global write sequence) across shards.
+    Gauge(f64),
+    /// Bucket-wise sum over all thread shards.
+    Histogram(HistogramValue),
+}
+
+/// Merges every thread shard and returns `(name, value)` pairs in sorted
+/// name order — the canonical, thread-count-independent form.  Intended to
+/// run at quiescence (after the measured workload returned).
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    let mut entries = REGISTRY
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .entries
+        .clone();
+    entries.sort_by_key(|e| e.name);
+    let shards: Vec<Arc<Shard>> = SHARDS.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    entries
+        .into_iter()
+        .map(|e| {
+            let value = match e.kind {
+                Kind::Counter => MetricValue::Counter(
+                    shards
+                        .iter()
+                        .map(|s| s.slots[e.base].load(Ordering::Relaxed))
+                        .fold(0u64, u64::wrapping_add),
+                ),
+                Kind::Gauge => {
+                    let (mut bits, mut best_seq) = (0u64, 0u64);
+                    for s in &shards {
+                        let seq = s.slots[e.base + 1].load(Ordering::Relaxed);
+                        if seq >= best_seq && seq > 0 {
+                            best_seq = seq;
+                            bits = s.slots[e.base].load(Ordering::Relaxed);
+                        }
+                    }
+                    MetricValue::Gauge(if best_seq == 0 {
+                        0.0
+                    } else {
+                        f64::from_bits(bits)
+                    })
+                }
+                Kind::Histogram => {
+                    let mut buckets = Vec::new();
+                    for b in 0..HIST_BUCKETS {
+                        let n = shards
+                            .iter()
+                            .map(|s| s.slots[e.base + b].load(Ordering::Relaxed))
+                            .fold(0u64, u64::wrapping_add);
+                        if n > 0 {
+                            buckets.push((bucket_upper_bound(b), n));
+                        }
+                    }
+                    let count = shards
+                        .iter()
+                        .map(|s| s.slots[e.base + HIST_BUCKETS].load(Ordering::Relaxed))
+                        .fold(0u64, u64::wrapping_add);
+                    let sum = shards
+                        .iter()
+                        .map(|s| s.slots[e.base + HIST_BUCKETS + 1].load(Ordering::Relaxed))
+                        .fold(0u64, u64::wrapping_add);
+                    MetricValue::Histogram(HistogramValue {
+                        count,
+                        sum,
+                        buckets,
+                    })
+                }
+            };
+            (e.name.to_string(), value)
+        })
+        .collect()
+}
+
+/// Zeroes every slot of every shard; registered names keep their slots.
+pub(crate) fn reset() {
+    let shards: Vec<Arc<Shard>> = SHARDS.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    for shard in shards {
+        for slot in shard.slots.iter() {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_close_each_range() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(HIST_BUCKETS - 1), u64::MAX);
+        // Every value lands in the bucket whose upper bound covers it.
+        for v in [0u64, 1, 2, 3, 4, 5, 127, 128, 129, 1 << 40] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper_bound(b), "{v} above its bucket bound");
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1), "{v} below its bucket");
+            }
+        }
+    }
+}

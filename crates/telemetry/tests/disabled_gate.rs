@@ -1,0 +1,76 @@
+//! The zero-overhead contract: without the `telemetry` cargo feature the
+//! gate is a compile-time `false` and every recording site is a dead branch.
+//! This suite runs in both configurations (CI's `obs-layer` builds it with
+//! and without the feature) and asserts the behaviour of whichever gate is
+//! active; the always-available stopwatch API is covered here too.
+
+use ppfr_telemetry as tel;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn stopwatch_and_time_ms_are_always_available() {
+    let sw = tel::Stopwatch::new();
+    let mut acc = 0u64;
+    for i in 0..1000u64 {
+        acc = acc.wrapping_add(i * i);
+    }
+    assert!(std::hint::black_box(acc) > 0);
+    assert!(sw.elapsed_ms() >= 0.0);
+    let first = sw.elapsed_ns();
+    assert!(sw.elapsed_ns() >= first, "elapsed must be monotone");
+
+    let (out, ms) = tel::time_ms(|| 21 * 2);
+    assert_eq!(out, 42);
+    assert!(ms >= 0.0);
+    let (out, ms) = tel::time_span_ms("gate_timed", || "x");
+    assert_eq!(out, "x");
+    assert!(ms >= 0.0);
+}
+
+#[test]
+fn gate_reflects_feature_and_runtime_switch() {
+    let _l = lock();
+    if tel::compiled() {
+        tel::set_enabled(false);
+        assert!(!tel::enabled(), "runtime off must win");
+        tel::set_enabled(true);
+        assert!(tel::enabled(), "feature + runtime on must enable");
+    } else {
+        tel::set_enabled(true);
+        assert!(
+            !tel::enabled(),
+            "without the feature the gate must stay hard-off"
+        );
+    }
+}
+
+#[test]
+fn disabled_recording_is_a_no_op() {
+    let _l = lock();
+    if tel::compiled() {
+        // The enabled semantics are covered by the feature-gated suites.
+        return;
+    }
+    tel::set_enabled(true); // must have no effect without the feature
+    static COUNTER: tel::Counter = tel::Counter::new("gate.counter");
+    static GAUGE: tel::Gauge = tel::Gauge::new("gate.gauge");
+    static HIST: tel::Histogram = tel::Histogram::new("gate.hist");
+    COUNTER.add(5);
+    GAUGE.set(1.0);
+    HIST.record(7);
+    {
+        let _span = tel::span!("gate_span");
+    }
+    assert!(tel::snapshot().is_empty(), "nothing may register when off");
+    assert!(tel::span_tree().is_empty(), "no spans may record when off");
+    let report = tel::report();
+    assert!(report.contains("(no spans recorded)"), "{report}");
+    assert!(report.contains("(no metrics recorded)"), "{report}");
+    assert!(tel::chrome_trace_json().contains("\"traceEvents\":["));
+}

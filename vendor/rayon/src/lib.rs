@@ -30,7 +30,10 @@
 use std::sync::OnceLock;
 
 mod pool;
+pub mod stats;
 pub mod steal;
+
+pub use stats::{pool_stats, reset_pool_stats, set_pool_stats_enabled, PoolStats};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};

@@ -35,6 +35,7 @@
 //! chunks are drained without running, and the dispatcher re-raises the
 //! payload on its own thread once every participant has detached.
 
+use crate::stats;
 use crate::steal::{StdSync, StealCore};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -188,6 +189,7 @@ fn worker_loop(pool: &'static Pool) {
                 }
             }
         } else {
+            stats::note_park();
             state = pool.work_cv.wait(state).unwrap();
         }
     }
@@ -228,11 +230,13 @@ unsafe fn index_enter(job: *const (), seat: usize) {
 /// Returns once every index has run; re-raises the first task panic.
 pub(crate) fn dispatch(n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     if threads <= 1 || n_items <= 1 {
+        stats::note_serial_fallback();
         for i in 0..n_items {
             task(i);
         }
         return;
     }
+    stats::note_dispatch();
     let participants = threads.min(n_items).min(MAX_WORKERS + 1);
     let job = IndexJob {
         core: StealCore::new(n_items, participants, CHUNKS_PER_PARTICIPANT),
@@ -314,6 +318,7 @@ where
         done: Mutex::new(()),
         done_cv: Condvar::new(),
     };
+    stats::note_join();
     let pool = pool();
     pool.ensure_workers(1);
     let id = pool.announce(
@@ -326,6 +331,9 @@ where
     pool.retract(id);
     // Steal `b` back if no worker claimed it yet.
     let inline_b = job.second.lock().unwrap().take();
+    if inline_b.is_some() {
+        stats::note_join_inline();
+    }
     let inline_result = inline_b.map(|second| panic::catch_unwind(AssertUnwindSafe(second)));
     // Either way, wait until every attached worker has let go of the job —
     // a worker may have attached and lost the race for `b`, and it still

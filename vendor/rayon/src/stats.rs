@@ -1,0 +1,132 @@
+//! Opt-in pool statistics: dispatch, steal and park counters.
+//!
+//! Off by default — every counting site first branches on a single static
+//! `AtomicBool`, so the disabled cost is one relaxed load (and the hot
+//! participant loop batches its counts in plain locals and flushes once per
+//! participation, so even enabled it adds two atomic adds per *job*, not per
+//! chunk).
+//!
+//! All counters use `Ordering::Relaxed` **deliberately**: they are pure
+//! statistics, never read to make control-flow decisions inside the pool and
+//! never used to order access to other data.  This does not weaken the
+//! memory-ordering audit in [`crate::steal`] — that audit covers the steal
+//! *protocol* (pending/attached/abort), of which these counters are not a
+//! part.  Readers are expected to call [`pool_stats`] at quiescence (after
+//! their dispatches returned).
+//!
+//! The intended consumer is the observability layer (`ppfr_telemetry` /
+//! `exp_trace`), which enables the counters when telemetry is on and exports
+//! a snapshot per workload; the counters themselves live here so the vendored
+//! pool stays dependency-free.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static JOINS: AtomicU64 = AtomicU64::new(0);
+static JOINS_INLINE: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static LOCAL_POPS: AtomicU64 = AtomicU64::new(0);
+static PARKS: AtomicU64 = AtomicU64::new(0);
+
+/// Turns statistics collection on or off (process-wide).  Counters keep
+/// their values across toggles; pair with [`reset_pool_stats`] to measure a
+/// single workload.
+pub fn set_pool_stats_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn stats_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter.
+pub fn reset_pool_stats() {
+    for c in [
+        &DISPATCHES,
+        &SERIAL_FALLBACKS,
+        &JOINS,
+        &JOINS_INLINE,
+        &STEALS,
+        &LOCAL_POPS,
+        &PARKS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the pool counters (see [`pool_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel index-space dispatches that actually engaged the pool.
+    pub dispatches: u64,
+    /// Dispatches that degenerated to the serial loop (`threads <= 1` or
+    /// fewer than two items).
+    pub serial_fallbacks: u64,
+    /// `join` calls that offered their second closure to the pool.
+    pub joins: u64,
+    /// Of those, how many ran the second closure inline after no worker
+    /// claimed it in time.
+    pub joins_inline: u64,
+    /// Chunks taken from another participant's deque (FIFO steals).
+    pub steals: u64,
+    /// Chunks a participant popped from its own deque (LIFO pops).
+    pub local_pops: u64,
+    /// Times an idle worker parked on the pool condvar (spurious wakeups
+    /// re-park and count again; this is a statistic, not a precise event).
+    pub parks: u64,
+}
+
+/// Reads every counter (relaxed).  Meaningful at quiescence — call after the
+/// measured dispatches have returned.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
+        joins: JOINS.load(Ordering::Relaxed),
+        joins_inline: JOINS_INLINE.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        local_pops: LOCAL_POPS.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_dispatch() {
+    if stats_enabled() {
+        DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_serial_fallback() {
+    if stats_enabled() {
+        SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_join() {
+    if stats_enabled() {
+        JOINS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_join_inline() {
+    if stats_enabled() {
+        JOINS_INLINE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_park() {
+    if stats_enabled() {
+        PARKS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Flushes one participation's batched chunk accounting.
+pub(crate) fn add_participation(local_pops: u64, steals: u64) {
+    if stats_enabled() && (local_pops > 0 || steals > 0) {
+        LOCAL_POPS.fetch_add(local_pops, Ordering::Relaxed);
+        STEALS.fetch_add(steals, Ordering::Relaxed);
+    }
+}

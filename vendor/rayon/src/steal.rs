@@ -30,6 +30,11 @@
 //!   is read once per chunk, so the stronger ordering costs nothing.
 //! * The dispatcher's completion re-check loads are `Acquire` so the task
 //!   writes of the final chunk are visible once `wait_done` returns.
+//!
+//! The opt-in statistics counters ([`crate::stats`]) *do* use `Relaxed`, but
+//! they are not part of the protocol: nothing reads them to make decisions
+//! inside the pool and they never order access to other data.  The audit
+//! claim above is about the handshake atomics listed here.
 
 use std::collections::VecDeque;
 use std::ops::DerefMut;
@@ -287,6 +292,9 @@ impl<F: SyncFacade> StealCore<F> {
     /// running (each still accounted, so `pending` always reaches zero).
     pub fn participate(&self, seat: usize, task: &(dyn Fn(usize) + Sync)) {
         let n_deques = self.deques.len();
+        // Chunk accounting for `crate::stats`, batched in plain locals and
+        // flushed once at loop exit so the hot path stays atomic-free.
+        let (mut local_pops, mut steals) = (0u64, 0u64);
         loop {
             // The own-deque guard must drop before stealing: holding it
             // while locking a victim's deque would deadlock with a
@@ -295,10 +303,17 @@ impl<F: SyncFacade> StealCore<F> {
             // at a time.
             let own = self.deques[seat].lock().pop_back();
             let chunk = match own {
-                Some(chunk) => Some(chunk),
+                Some(chunk) => {
+                    local_pops += 1;
+                    Some(chunk)
+                }
                 None => (1..n_deques).find_map(|offset| {
                     let victim = (seat + offset) % n_deques;
-                    self.deques[victim].lock().pop_front()
+                    let stolen = self.deques[victim].lock().pop_front();
+                    if stolen.is_some() {
+                        steals += 1;
+                    }
+                    stolen
                 }),
             };
             let Some(chunk) = chunk else { break };
@@ -321,6 +336,7 @@ impl<F: SyncFacade> StealCore<F> {
                 self.signal_done();
             }
         }
+        crate::stats::add_participation(local_pops, steals);
     }
 
     /// Blocks until every task index is accounted for *and* every attached
