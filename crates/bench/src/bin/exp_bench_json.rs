@@ -661,6 +661,68 @@ fn main() {
         ])
     };
 
+    // Large-graph scaling scenario: sparse generation, streamed bias, capped
+    // attack and neighbour-sampled training, with per-stage wall-clock
+    // recovered from the telemetry spans (the scenario itself never reads a
+    // clock).  Spans are compile-time gated: build with `--features telemetry`
+    // or the `stages` list comes out empty (the report and total are always
+    // recorded).
+    let scaling = {
+        use ppfr_runner::{run_scale_scenario, ScaleSpec};
+        let spec = match scale {
+            ExperimentScale::Full => ScaleSpec::million(),
+            ExperimentScale::Smoke => ScaleSpec::smoke(),
+        };
+        let was_enabled = ppfr_telemetry::enabled();
+        ppfr_telemetry::set_enabled(true);
+        ppfr_telemetry::reset();
+        let (report, total_ms) = ppfr_telemetry::time_ms(|| run_scale_scenario(&spec));
+        let tree = ppfr_telemetry::span_tree();
+        ppfr_telemetry::set_enabled(was_enabled);
+
+        fn find<'a>(
+            nodes: &'a [ppfr_telemetry::SpanTree],
+            name: &str,
+        ) -> Option<&'a ppfr_telemetry::SpanTree> {
+            for node in nodes {
+                if node.name == name {
+                    return Some(node);
+                }
+                if let Some(found) = find(&node.children, name) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        let mut stages = Vec::new();
+        if let Some(root) = find(&tree, "scale_scenario") {
+            for child in &root.children {
+                let ms = child.total_ns as f64 / 1e6;
+                println!("{:<32} {:>9.1} ms", child.name, ms);
+                stages.push(Value::Obj(vec![
+                    ("stage".to_string(), child.name.to_value()),
+                    ("ms".to_string(), ms.to_value()),
+                ]));
+            }
+        }
+        println!(
+            "{:<24} n={} m={}     bias {:.4}   auc {:.3}   acc {:.3}   total {:>9.1} ms",
+            "scaling",
+            report.n_nodes,
+            report.n_edges,
+            report.bias,
+            report.attack_auc,
+            report.sampled_train_accuracy,
+            total_ms
+        );
+        Value::Obj(vec![
+            ("spec".to_string(), spec.to_value()),
+            ("report".to_string(), report.to_value()),
+            ("total_ms".to_string(), total_ms.to_value()),
+            ("stages".to_string(), Value::Arr(stages)),
+        ])
+    };
+
     // Merge into any existing BENCH_kernels.json: only this binary's
     // sections are replaced, sections owned by other binaries survive.
     let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
@@ -676,6 +738,7 @@ fn main() {
             ("runner", runner.to_value()),
             ("pool", pool_value),
             ("analysis", analysis),
+            ("scaling", scaling),
         ],
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

@@ -11,7 +11,9 @@
 mod bias;
 mod lipschitz;
 mod ranking;
+mod streaming;
 
 pub use bias::{bias, bias_gradient_wrt_probs, pairwise_bias};
 pub use lipschitz::{lipschitz_violations, max_unfairness_gap};
 pub use ranking::ranking_fairness_ndcg;
+pub use streaming::{streamed_bias, streamed_bias_serial};

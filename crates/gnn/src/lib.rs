@@ -17,6 +17,7 @@ mod gat;
 mod gcn;
 mod model;
 mod sage;
+mod sampling;
 mod train;
 mod workspace;
 
@@ -25,5 +26,6 @@ pub use gat::Gat;
 pub use gcn::Gcn;
 pub use model::{AnyModel, GnnModel, ModelKind};
 pub use sage::GraphSage;
+pub use sampling::{sample_subgraph, train_sampled, SampledContext};
 pub use train::{train, train_legacy, train_with_workspace, FairnessReg, TrainConfig, TrainReport};
 pub use workspace::{GatBufs, GatLayerBufs, GcnBufs, SageBufs, TrainWorkspace};

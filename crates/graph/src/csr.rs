@@ -12,6 +12,57 @@ use ppfr_linalg::{par_row_blocks, Matrix};
 /// affect results.
 const SPMM_BLOCK_ROWS: usize = 16;
 
+/// One output row of a sparse × dense product given the row's CSR slices;
+/// shared by [`SparseMatrix::matmul_dense`] and the streamed-bias path in
+/// `ppfr_fairness` so both run the exact same floating-point chain.
+///
+/// Runs as a 4-wide microkernel over the row's stored entries: groups of
+/// four nonzero values gather their four dense rows and fuse the
+/// contributions into one left-associative update per output element —
+/// bit-identical to the four sequential scalar adds, with four independent
+/// multiplies for the autovectoriser.  Groups containing an explicit zero
+/// fall back to the per-entry skip loop (`0 × NaN` must still vanish exactly
+/// as before).
+#[inline]
+pub fn spmm_row_kernel(cols: &[usize], vals: &[f64], dense: &Matrix, out_row: &mut [f64]) {
+    let mut i = 0;
+    while i + 4 <= vals.len() {
+        let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
+        if v0 != 0.0 && v1 != 0.0 && v2 != 0.0 && v3 != 0.0 {
+            let d0 = dense.row(cols[i]);
+            let d1 = dense.row(cols[i + 1]);
+            let d2 = dense.row(cols[i + 2]);
+            let d3 = dense.row(cols[i + 3]);
+            for ((((o, &e0), &e1), &e2), &e3) in out_row.iter_mut().zip(d0).zip(d1).zip(d2).zip(d3)
+            {
+                *o = *o + v0 * e0 + v1 * e1 + v2 * e2 + v3 * e3;
+            }
+        } else {
+            for t in i..i + 4 {
+                let v = vals[t];
+                if v == 0.0 {
+                    continue;
+                }
+                let d_row = dense.row(cols[t]);
+                for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
+                    *o += v * d;
+                }
+            }
+        }
+        i += 4;
+    }
+    for t in i..vals.len() {
+        let v = vals[t];
+        if v == 0.0 {
+            continue;
+        }
+        let d_row = dense.row(cols[t]);
+        for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
+            *o += v * d;
+        }
+    }
+}
+
 /// Sparse matrix in CSR format with `f64` values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseMatrix {
@@ -51,12 +102,80 @@ impl SparseMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Self {
+        let out = Self {
             n_rows,
             n_cols,
             row_ptr,
             col_idx,
             values,
+        };
+        out.debug_validate();
+        out
+    }
+
+    /// Builds a CSR matrix directly from its raw parts.
+    ///
+    /// Every row's column indices must already be sorted, duplicate-free and
+    /// in bounds — the blocked SpMM and streamed-Laplacian kernels silently
+    /// miscompute on malformed CSR, so this is checked by
+    /// [`SparseMatrix::debug_validate`] (debug builds only).
+    ///
+    /// # Panics
+    /// Panics when `row_ptr` is not a monotone cover of `col_idx`, or (debug
+    /// builds) when any row's columns are unsorted, duplicated or out of
+    /// bounds.
+    pub fn from_csr_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            row_ptr.len(),
+            n_rows + 1,
+            "row_ptr must have n_rows+1 entries"
+        );
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        assert_eq!(
+            *row_ptr.last().expect("row_ptr is non-empty"),
+            col_idx.len(),
+            "row_ptr must cover all entries"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be monotone"
+        );
+        let out = Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        out.debug_validate();
+        out
+    }
+
+    /// Debug-build structural check: every row's column indices are sorted,
+    /// duplicate-free and within `n_cols`.
+    fn debug_validate(&self) {
+        if cfg!(debug_assertions) {
+            for r in 0..self.n_rows {
+                let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+                debug_assert!(
+                    cols.windows(2).all(|w| w[0] < w[1]),
+                    "row {r} has unsorted or duplicate column indices"
+                );
+                debug_assert!(
+                    cols.iter().all(|&c| c < self.n_cols),
+                    "row {r} has a column index out of bounds"
+                );
+            }
         }
     }
 
@@ -107,58 +226,18 @@ impl SparseMatrix {
     }
 
     /// One output row of the sparse × dense product; shared by the parallel
-    /// and serial SpMM so both produce bit-identical results.
-    ///
-    /// Runs as a 4-wide microkernel over the row's stored entries: groups of
-    /// four nonzero values gather their four dense rows and fuse the
-    /// contributions into one left-associative update per output element —
-    /// bit-identical to the four sequential scalar adds, with four
-    /// independent multiplies for the autovectoriser.  Groups containing an
-    /// explicit zero fall back to the per-entry skip loop (`0 × NaN` must
-    /// still vanish exactly as before).
+    /// and serial SpMM (via [`spmm_row_kernel`]) so both produce bit-identical
+    /// results.
     #[inline]
     fn spmm_row_into(&self, r: usize, dense: &Matrix, out_row: &mut [f64]) {
         let start = self.row_ptr[r];
         let end = self.row_ptr[r + 1];
-        let cols = &self.col_idx[start..end];
-        let vals = &self.values[start..end];
-        let mut i = 0;
-        while i + 4 <= vals.len() {
-            let (v0, v1, v2, v3) = (vals[i], vals[i + 1], vals[i + 2], vals[i + 3]);
-            if v0 != 0.0 && v1 != 0.0 && v2 != 0.0 && v3 != 0.0 {
-                let d0 = dense.row(cols[i]);
-                let d1 = dense.row(cols[i + 1]);
-                let d2 = dense.row(cols[i + 2]);
-                let d3 = dense.row(cols[i + 3]);
-                for ((((o, &e0), &e1), &e2), &e3) in
-                    out_row.iter_mut().zip(d0).zip(d1).zip(d2).zip(d3)
-                {
-                    *o = *o + v0 * e0 + v1 * e1 + v2 * e2 + v3 * e3;
-                }
-            } else {
-                for t in i..i + 4 {
-                    let v = vals[t];
-                    if v == 0.0 {
-                        continue;
-                    }
-                    let d_row = dense.row(cols[t]);
-                    for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
-                        *o += v * d;
-                    }
-                }
-            }
-            i += 4;
-        }
-        for t in i..vals.len() {
-            let v = vals[t];
-            if v == 0.0 {
-                continue;
-            }
-            let d_row = dense.row(cols[t]);
-            for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
-                *o += v * d;
-            }
-        }
+        spmm_row_kernel(
+            &self.col_idx[start..end],
+            &self.values[start..end],
+            dense,
+            out_row,
+        );
     }
 
     fn spmm_check(&self, dense: &Matrix) {
@@ -379,5 +458,65 @@ mod tests {
         assert_eq!(m.row_sum(0), 3.0);
         assert_eq!(m.row_sum(1), 0.0);
         assert_eq!(m.row_sum(2), 7.0);
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrips_from_triplets() {
+        let m = sample();
+        let rebuilt = SparseMatrix::from_csr_parts(
+            3,
+            3,
+            m.row_ptr.clone(),
+            m.col_idx.clone(),
+            m.values.clone(),
+        );
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn spmm_row_kernel_matches_matmul_row() {
+        let m = sample();
+        let d = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let full = m.matmul_dense_serial(&d);
+        for r in 0..3 {
+            let start = m.row_ptr[r];
+            let end = m.row_ptr[r + 1];
+            let mut out = vec![0.0; 2];
+            spmm_row_kernel(&m.col_idx[start..end], &m.values[start..end], &d, &mut out);
+            assert_eq!(out.as_slice(), full.row(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must cover all entries")]
+    fn from_csr_parts_rejects_short_row_ptr_cover() {
+        let _ = SparseMatrix::from_csr_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must be monotone")]
+    fn from_csr_parts_rejects_non_monotone_row_ptr() {
+        let _ = SparseMatrix::from_csr_parts(2, 2, vec![2, 0, 2], vec![0, 1], vec![1.0, 2.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "unsorted or duplicate column indices")]
+    fn from_csr_parts_rejects_unsorted_columns_in_debug() {
+        let _ = SparseMatrix::from_csr_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "unsorted or duplicate column indices")]
+    fn from_csr_parts_rejects_duplicate_columns_in_debug() {
+        let _ = SparseMatrix::from_csr_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn from_csr_parts_rejects_out_of_bounds_column_in_debug() {
+        let _ = SparseMatrix::from_csr_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
     }
 }

@@ -60,7 +60,11 @@ pub fn jaccard_similarity_serial(graph: &Graph) -> SparseMatrix {
 }
 
 /// Sorted closed neighbourhoods `{v} ∪ neighbours(v)` for every node.
-fn closed_neighbourhoods(graph: &Graph) -> Vec<Vec<usize>> {
+///
+/// Public because the streamed-bias path in `ppfr_fairness` rebuilds one
+/// similarity-Laplacian row at a time from these neighbourhoods instead of
+/// materialising `S` or `L_S`.
+pub fn closed_neighbourhoods(graph: &Graph) -> Vec<Vec<usize>> {
     (0..graph.n_nodes())
         .map(|v| {
             let mut set: Vec<usize> = graph.neighbors(v).to_vec();
@@ -74,8 +78,10 @@ fn closed_neighbourhoods(graph: &Graph) -> Vec<Vec<usize>> {
 }
 
 /// All non-zero `(i, j, S_ij)` entries of row `i`; shared by the parallel and
-/// serial builders so both produce identical triplet sequences.
-fn jaccard_row(i: usize, closed: &[Vec<usize>]) -> Vec<(usize, usize, f64)> {
+/// serial builders (and the streamed-bias path in `ppfr_fairness`) so every
+/// consumer sees identical triplet sequences.  Entries come out sorted by
+/// `j`, duplicate-free and without the diagonal.
+pub fn jaccard_row(i: usize, closed: &[Vec<usize>]) -> Vec<(usize, usize, f64)> {
     // Candidate js: anything within two hops of i (via closed neighbourhoods).
     let mut candidates: BTreeSet<usize> = BTreeSet::new();
     for &u in &closed[i] {

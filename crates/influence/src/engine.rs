@@ -77,6 +77,21 @@ pub fn influence_on(
         )
     };
     let s_f = conjugate_gradient(apply, grad_f, cfg.cg_iters, cfg.cg_tol);
+    influence_from_s_f(model, ctx, labels, train_ids, &s_f)
+}
+
+/// The adjoint-trick tail shared by the exact CG solve ([`influence_on`]) and
+/// the stochastic LiSSA estimator ([`crate::lissa_influence_on`]): given the
+/// solved adjoint `s_f = (H+λI)⁻¹ ∇_θ f`, returns
+/// `I_f(w_v) = −s_f · ∇_θ L(v)` for every training node (computed in
+/// parallel, collected in index order).
+pub fn influence_from_s_f(
+    model: &AnyModel,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    s_f: &[f64],
+) -> Vec<f64> {
     par_rows(train_ids.len(), |i| {
         let g_v = node_loss_grad(model, ctx, labels, train_ids[i]);
         -s_f.iter()
@@ -218,6 +233,26 @@ mod tests {
             assert_eq!(
                 parallel, baseline,
                 "influence_on differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn influence_from_s_f_is_bit_identical_across_thread_counts() {
+        let s = trained_setup();
+        let s_f: Vec<f64> = (0..s.model.n_params())
+            .map(|i| ((i as f64) * 0.13).sin())
+            .collect();
+        let baseline = ppfr_linalg::parallel::with_forced_threads(1, || {
+            influence_from_s_f(&s.model, &s.ctx, &s.labels, &s.train_ids, &s_f)
+        });
+        for threads in [2, 4] {
+            let parallel = ppfr_linalg::parallel::with_forced_threads(threads, || {
+                influence_from_s_f(&s.model, &s.ctx, &s.labels, &s.train_ids, &s_f)
+            });
+            assert_eq!(
+                parallel, baseline,
+                "influence_from_s_f differs at {threads} threads"
             );
         }
     }

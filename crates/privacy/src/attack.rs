@@ -54,43 +54,49 @@ impl PairSample {
             "negative:positive ratio must be finite and non-negative"
         );
         let positives: Vec<(usize, usize)> = graph.edges().collect();
-        let n = graph.n_nodes();
         let target = (positives.len() as f64 * neg_per_pos).round() as usize;
-        let mut negatives = Vec::with_capacity(target);
-        // Membership-only dedup: a BTreeSet keeps the sampler free of any
-        // hash-iteration order so the drawn negatives depend only on the RNG
-        // stream and the deterministic enumeration fallback.
-        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut attempts = 0usize;
-        let max_attempts = target.saturating_mul(50).max(1000);
-        while negatives.len() < target && attempts < max_attempts {
-            attempts += 1;
-            let u = rng.gen_range(0..n);
-            let v = rng.gen_range(0..n);
-            if u == v || graph.has_edge(u, v) {
-                continue;
-            }
-            let pair = (u.min(v), u.max(v));
-            if seen.insert(pair) {
-                negatives.push(pair);
-            }
+        let negatives = sample_negatives(graph, target, rng);
+        Self {
+            positives,
+            negatives,
         }
-        if negatives.len() < target {
-            // Rejection sampling exhausted its budget: deterministically
-            // enumerate the non-edges that were not already drawn.
-            'fill: for u in 0..n {
-                for v in (u + 1)..n {
-                    if negatives.len() >= target {
-                        break 'fill;
-                    }
-                    if graph.has_edge(u, v) || seen.contains(&(u, v)) {
-                        continue;
-                    }
-                    seen.insert((u, v));
-                    negatives.push((u, v));
-                }
+    }
+
+    /// A size-capped balanced sample for large graphs: at most `max_pos`
+    /// *distinct* edges as positives (all edges when the graph has fewer) and
+    /// an equal number of sampled non-edges as negatives.
+    ///
+    /// [`PairSample::balanced`] keeps every edge, which at 10⁶ nodes means
+    /// millions of pairs and a distance table in the hundreds of megabytes;
+    /// capping the positives keeps attack evaluation `O(max_pos)` while the
+    /// AUC stays an unbiased estimate of the all-edges value (positives are
+    /// drawn uniformly without replacement, in deterministic ascending edge
+    /// order for a fixed RNG stream).
+    ///
+    /// # Panics
+    /// Panics when `max_pos` is zero.
+    pub fn capped<R: Rng + ?Sized>(graph: &Graph, max_pos: usize, rng: &mut R) -> Self {
+        assert!(max_pos > 0, "positive cap must be positive");
+        let n_edges = graph.n_edges();
+        let positives: Vec<(usize, usize)> = if n_edges <= max_pos {
+            graph.edges().collect()
+        } else {
+            // Rejection-sample distinct edge indices; the BTreeSet keeps the
+            // chosen set free of hash order, and collecting in ascending
+            // index order makes the sample a pure function of the RNG stream.
+            let mut chosen: BTreeSet<usize> = BTreeSet::new();
+            while chosen.len() < max_pos {
+                chosen.insert(rng.gen_range(0..n_edges));
             }
-        }
+            graph
+                .edges()
+                .enumerate()
+                .filter(|(i, _)| chosen.contains(i))
+                .map(|(_, e)| e)
+                .collect()
+        };
+        let target = positives.len();
+        let negatives = sample_negatives(graph, target, rng);
         Self {
             positives,
             negatives,
@@ -113,6 +119,54 @@ impl PairSample {
     pub fn counts(&self) -> (usize, usize) {
         (self.positives.len(), self.negatives.len())
     }
+}
+
+/// Draws `target` distinct non-edges `(u, v)` with `u < v`: rejection
+/// sampling from the RNG stream, falling back to deterministic enumeration
+/// of the remaining non-edges when the attempt budget runs out.
+///
+/// Membership-only dedup: a BTreeSet keeps the sampler free of any
+/// hash-iteration order so the drawn negatives depend only on the RNG
+/// stream and the deterministic enumeration fallback.
+fn sample_negatives<R: Rng + ?Sized>(
+    graph: &Graph,
+    target: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    let n = graph.n_nodes();
+    let mut negatives = Vec::with_capacity(target);
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = target.saturating_mul(50).max(1000);
+    while negatives.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || graph.has_edge(u, v) {
+            continue;
+        }
+        let pair = (u.min(v), u.max(v));
+        if seen.insert(pair) {
+            negatives.push(pair);
+        }
+    }
+    if negatives.len() < target {
+        // Rejection sampling exhausted its budget: deterministically
+        // enumerate the non-edges that were not already drawn.
+        'fill: for u in 0..n {
+            for v in (u + 1)..n {
+                if negatives.len() >= target {
+                    break 'fill;
+                }
+                if graph.has_edge(u, v) || seen.contains(&(u, v)) {
+                    continue;
+                }
+                seen.insert((u, v));
+                negatives.push((u, v));
+            }
+        }
+    }
+    negatives
 }
 
 fn pair_distances(probs: &Matrix, pairs: &[(usize, usize)], kind: DistanceKind) -> Vec<f64> {
@@ -507,6 +561,62 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1)]);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = PairSample::with_ratio(&g, f64::NAN, &mut rng);
+    }
+
+    #[test]
+    fn capped_sample_respects_the_cap_and_stays_balanced() {
+        let n = 40;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample = PairSample::capped(&g, 12, &mut rng);
+        let (n_pos, n_neg) = sample.counts();
+        assert_eq!(n_pos, 12, "cap must bind on a 40-edge graph");
+        assert_eq!(n_neg, n_pos, "capped sample must stay balanced");
+        let edge_set: std::collections::HashSet<(usize, usize)> = g.edges().collect();
+        for &(u, v) in &sample.positives {
+            assert!(edge_set.contains(&(u, v)), "positive ({u},{v}) not an edge");
+        }
+        let unique: std::collections::HashSet<_> = sample.positives.iter().collect();
+        assert_eq!(unique.len(), n_pos, "duplicate positives under the cap");
+        for &(u, v) in &sample.negatives {
+            assert!(!g.has_edge(u, v), "negative ({u},{v}) is an edge");
+        }
+    }
+
+    #[test]
+    fn capped_sample_is_deterministic_and_degrades_to_balanced() {
+        let n = 40;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let a = PairSample::capped(&g, 12, &mut rng_a);
+        let b = PairSample::capped(&g, 12, &mut rng_b);
+        assert_eq!(
+            a.positives, b.positives,
+            "positives must be seed-determined"
+        );
+        assert_eq!(
+            a.negatives, b.negatives,
+            "negatives must be seed-determined"
+        );
+        // A cap at or above the edge count keeps every edge, exactly like
+        // `balanced` with the same RNG stream.
+        let mut rng_c = StdRng::seed_from_u64(21);
+        let mut rng_d = StdRng::seed_from_u64(21);
+        let c = PairSample::capped(&g, g.n_edges(), &mut rng_c);
+        let d = PairSample::balanced(&g, &mut rng_d);
+        assert_eq!(c.positives, d.positives);
+        assert_eq!(c.negatives, d.negatives);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive cap must be positive")]
+    fn capped_rejects_a_zero_cap() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = PairSample::capped(&g, 0, &mut rng);
     }
 
     #[test]

@@ -185,6 +185,44 @@ mod tests {
     }
 
     #[test]
+    fn keys_separate_sampling_and_estimator_config() {
+        // Regression guard: the sampled-training and LiSSA knobs must reach
+        // the key fingerprint — a collision here would hand a full-batch
+        // scenario artifacts trained with sampling (or vice versa).
+        let spec = two_block_synthetic();
+        let base = ArtifactCache::key(&spec, &tiny_cfg(), 7, None);
+        let variants = [
+            PpfrConfig {
+                train_sample_fanout: 10,
+                ..tiny_cfg()
+            },
+            PpfrConfig {
+                lissa_depth: 150,
+                ..tiny_cfg()
+            },
+            PpfrConfig {
+                lissa_scale: 2.5,
+                ..tiny_cfg()
+            },
+            PpfrConfig {
+                lissa_batch: 16,
+                ..tiny_cfg()
+            },
+            PpfrConfig {
+                lissa_samples: 4,
+                ..tiny_cfg()
+            },
+        ];
+        for (i, cfg) in variants.iter().enumerate() {
+            assert_ne!(
+                base,
+                ArtifactCache::key(&spec, cfg, 7, None),
+                "variant {i} collided with the base key"
+            );
+        }
+    }
+
+    #[test]
     fn second_fetch_is_a_hit_and_returns_the_same_bundle() {
         let cache = ArtifactCache::new();
         let spec = two_block_synthetic();

@@ -37,6 +37,7 @@ mod aggregate;
 mod cache;
 mod multi;
 mod runner;
+mod scale;
 mod spec;
 
 pub use aggregate::{aggregate, MatrixReport, MetricStats, RunSummary, SeedRun};
@@ -45,4 +46,5 @@ pub use multi::{
     accuracy_view, fig4_view, fig6_multi, table3_view, CurvePointStats, CurveStats, Fig6MultiResult,
 };
 pub use runner::{run_scenario, run_scenario_serial};
+pub use scale::{run_scale_scenario, ScaleReport, ScaleSpec};
 pub use spec::{two_block_weak, RunGroup, ScenarioRegistry, ScenarioSpec, DEFAULT_SEEDS};
