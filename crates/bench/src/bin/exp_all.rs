@@ -20,7 +20,7 @@ fn main() {
     // III & IV and Figs. 4, 5 and 7.
     let cache = ArtifactCache::new();
     let high = ScenarioRegistry::get("tables-high-homophily", scale).expect("stock scenario");
-    let high_report = run_scenario(&high, &cache);
+    let high_report = ppfr_bench::report_or_exit(run_scenario(&high, &cache));
 
     println!("{}", table3_view(&high_report));
     println!("{}", fig4_view(&high_report));
@@ -30,7 +30,7 @@ fn main() {
     println!("{}", accuracy_view(&high_report, &["GraphSage"], "Fig. 7"));
 
     let weak = ScenarioRegistry::get("tables-weak-homophily", scale).expect("stock scenario");
-    let weak_report = run_scenario(&weak, &cache);
+    let weak_report = ppfr_bench::report_or_exit(run_scenario(&weak, &cache));
     println!("Table V: GCN on weak-homophily datasets");
     println!("{}", weak_report.to_table_string());
 

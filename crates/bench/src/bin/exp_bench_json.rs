@@ -446,8 +446,10 @@ fn main() {
             ExperimentScale::Smoke => ScenarioSpec::bench_small().with_seeds(&[7, 11]),
         };
         let cache = ArtifactCache::new();
-        let (cold_report, cold_ms) = ppfr_telemetry::time_ms(|| run_scenario(&spec, &cache));
-        let (warm_report, warm_ms) = ppfr_telemetry::time_ms(|| run_scenario(&spec, &cache));
+        let (cold_report, cold_ms) =
+            ppfr_telemetry::time_ms(|| ppfr_bench::report_or_exit(run_scenario(&spec, &cache)));
+        let (warm_report, warm_ms) =
+            ppfr_telemetry::time_ms(|| ppfr_bench::report_or_exit(run_scenario(&spec, &cache)));
         assert_eq!(
             cold_report.to_json(),
             warm_report.to_json(),
@@ -676,7 +678,8 @@ fn main() {
         let was_enabled = ppfr_telemetry::enabled();
         ppfr_telemetry::set_enabled(true);
         ppfr_telemetry::reset();
-        let (report, total_ms) = ppfr_telemetry::time_ms(|| run_scale_scenario(&spec));
+        let (report, total_ms) =
+            ppfr_telemetry::time_ms(|| ppfr_bench::report_or_exit(run_scale_scenario(&spec)));
         let tree = ppfr_telemetry::span_tree();
         ppfr_telemetry::set_enabled(was_enabled);
 
@@ -723,6 +726,84 @@ fn main() {
         ])
     };
 
+    // Resilience layer: the disabled-gate fast path must cost ~nothing on the
+    // hot paths, and a faulted run must surface its retry/degradation work in
+    // the always-on counters.
+    let resilience = {
+        use ppfr_core::Method;
+        use ppfr_resilience::{
+            checkpoint, counters, fault_at, reset_counters, with_fault_plan, FaultKind, FaultPlan,
+            FaultSpec,
+        };
+        use ppfr_runner::{run_scenario, ArtifactCache, ScenarioSpec};
+
+        // Disabled gate: no plan installed, no ambient budget — `fault_at` is
+        // one relaxed atomic load and `checkpoint` one thread-local probe.
+        // Record the per-call cost so a regression on these (everywhere-run)
+        // checks shows up in the trajectory.
+        let gate_iters: u64 = match scale {
+            ExperimentScale::Smoke => 200_000,
+            ExperimentScale::Full => 2_000_000,
+        };
+        let gate_ms = best_ms(5, || {
+            let mut alive = 0u64;
+            for i in 0..gate_iters {
+                if fault_at("bench_gate", "off").is_none() {
+                    alive += 1;
+                }
+                if checkpoint(0) {
+                    alive += 1;
+                }
+                std::hint::black_box(i);
+            }
+            alive
+        });
+        let gate_ns_per_call = gate_ms * 1e6 / (2 * gate_iters) as f64;
+
+        // Counter exercise: a one-seed PPFR-only matrix under a 1-unit budget
+        // and one transient injected cell error.  The run must complete with
+        // no failed cells while the retry/degradation/budget tallies light up.
+        reset_counters();
+        let spec = ScenarioSpec::bench_small()
+            .with_seeds(&[7])
+            .with_methods(&[Method::Ppfr])
+            .with_cell_budget(1);
+        let plan = FaultPlan::empty(0xbe9c).with(FaultSpec::times("cell", "", FaultKind::Error, 1));
+        let report = with_fault_plan(plan, || {
+            ppfr_bench::report_or_exit(run_scenario(&spec, &ArtifactCache::new()))
+        });
+        let c = counters();
+        assert!(
+            report.failed_cells.is_empty(),
+            "the injected transient fault must be retried away"
+        );
+        println!(
+            "{:<24} gate {:>6.2} ns/call   retries {}   degradations {}   budget_stops {}   faults {}",
+            "resilience", gate_ns_per_call, c.retries, c.degradations, c.budget_stops, c.faults_injected
+        );
+        Value::Obj(vec![
+            ("gate_ns_per_call".to_string(), gate_ns_per_call.to_value()),
+            (
+                "degraded_cells".to_string(),
+                (report.degraded.len() as f64).to_value(),
+            ),
+            ("retries".to_string(), (c.retries as f64).to_value()),
+            (
+                "degradations".to_string(),
+                (c.degradations as f64).to_value(),
+            ),
+            ("cell_panics".to_string(), (c.cell_panics as f64).to_value()),
+            (
+                "faults_injected".to_string(),
+                (c.faults_injected as f64).to_value(),
+            ),
+            (
+                "budget_stops".to_string(),
+                (c.budget_stops as f64).to_value(),
+            ),
+        ])
+    };
+
     // Merge into any existing BENCH_kernels.json: only this binary's
     // sections are replaced, sections owned by other binaries survive.
     let existing = std::fs::read_to_string("BENCH_kernels.json").ok();
@@ -739,6 +820,7 @@ fn main() {
             ("pool", pool_value),
             ("analysis", analysis),
             ("scaling", scaling),
+            ("resilience", resilience),
         ],
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

@@ -11,6 +11,6 @@ fn main() {
         .expect("stock scenario")
         .with_models(&[ModelKind::Gcn])
         .with_methods(&[Method::Vanilla, Method::Reg]);
-    let report = run_scenario(&spec, &ArtifactCache::new());
+    let report = ppfr_bench::report_or_exit(run_scenario(&spec, &ArtifactCache::new()));
     println!("{}", fig4_view(&report));
 }

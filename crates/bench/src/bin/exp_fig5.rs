@@ -8,6 +8,6 @@ fn main() {
     let spec = ScenarioRegistry::get("tables-high-homophily", scale)
         .expect("stock scenario")
         .with_models(&[ModelKind::Gcn, ModelKind::Gat]);
-    let report = run_scenario(&spec, &ArtifactCache::new());
+    let report = ppfr_bench::report_or_exit(run_scenario(&spec, &ArtifactCache::new()));
     println!("{}", accuracy_view(&report, &["GCN", "GAT"], "Fig. 5"));
 }

@@ -33,7 +33,7 @@ fn main() {
         spec.seeds.len()
     );
     let cache = ArtifactCache::new();
-    let report = run_scenario(&spec, &cache);
+    let report = ppfr_bench::report_or_exit(run_scenario(&spec, &cache));
     println!("{}", report.to_table_string_with_cache(&cache.stats()));
     println!("{}", report.to_json());
 }

@@ -10,7 +10,7 @@ fn main() {
         .expect("stock scenario")
         .with_models(&[ModelKind::Gcn])
         .with_methods(&[Method::Vanilla, Method::Reg]);
-    let report = run_scenario(&spec, &ArtifactCache::new());
+    let report = ppfr_bench::report_or_exit(run_scenario(&spec, &ArtifactCache::new()));
     println!("{}", table3_view(&report));
     println!("{}", report.to_json());
 }

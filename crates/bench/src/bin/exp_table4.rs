@@ -6,7 +6,7 @@ use ppfr_runner::{run_scenario, ArtifactCache, ScenarioRegistry};
 fn main() {
     let scale = ppfr_bench::scale_from_args();
     let spec = ScenarioRegistry::get("tables-high-homophily", scale).expect("stock scenario");
-    let report = run_scenario(&spec, &ArtifactCache::new());
+    let report = ppfr_bench::report_or_exit(run_scenario(&spec, &ArtifactCache::new()));
     println!("Table IV: effectiveness of the methods (high-homophily datasets)");
     println!("{}", report.to_table_string());
 }

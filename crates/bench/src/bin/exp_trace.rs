@@ -123,7 +123,7 @@ fn main() {
         ppfr_linalg::parallel::current_num_threads()
     );
     let cache = ArtifactCache::new();
-    let report = run_scenario(&spec, &cache);
+    let report = ppfr_bench::report_or_exit(run_scenario(&spec, &cache));
 
     // Human-readable span tree + metrics, after the run quiesced.
     println!("{}", ppfr_telemetry::report());

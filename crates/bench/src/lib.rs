@@ -33,6 +33,19 @@ pub fn scale_from_args() -> ExperimentScale {
     }
 }
 
+/// Unwraps a runner result for the `exp_*` binaries: a failed scenario prints
+/// the error to stderr and exits non-zero instead of panicking with a
+/// backtrace, so shell pipelines and CI see a clean diagnostic + status code.
+pub fn report_or_exit<T>(result: Result<T, ppfr_resilience::RunError>) -> T {
+    match result {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("scenario failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Merges top-level sections into an existing JSON object document and
 /// returns the merged pretty JSON: named sections are replaced (or appended
 /// in order), every other key is preserved verbatim.  `existing` is the

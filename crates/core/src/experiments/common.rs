@@ -113,6 +113,41 @@ impl DatasetArtifacts {
         &mut self.auditor
     }
 
+    /// FNV-1a digest of the *immutable* part of the bundle — the generated
+    /// dataset (features, labels, edges, split sizes).  The auditor and the
+    /// vanilla checkpoint cache legitimately mutate as cells run, but the
+    /// dataset must never change once built; the runner's artifact cache
+    /// stores this digest at build time and revalidates on every hit so a
+    /// corrupted bundle is detected and rebuilt instead of silently skewing
+    /// every downstream metric.
+    pub fn content_checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.dataset.graph.n_nodes() as u64);
+        for (u, v) in self.dataset.graph.edges() {
+            eat(u as u64);
+            eat(v as u64);
+        }
+        for &x in self.dataset.features.as_slice() {
+            eat(x.to_bits());
+        }
+        for &l in &self.dataset.labels {
+            eat(l as u64);
+        }
+        eat(self.dataset.n_classes as u64);
+        eat(self.dataset.splits.train.len() as u64);
+        eat(self.dataset.splits.val.len() as u64);
+        eat(self.dataset.splits.test.len() as u64);
+        h
+    }
+
     /// Trained + audited vanilla checkpoints currently cached.
     pub fn n_vanilla_checkpoints(&self) -> usize {
         self.vanilla.len()

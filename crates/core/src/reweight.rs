@@ -3,9 +3,15 @@
 use crate::PpfrConfig;
 use ppfr_gnn::{AnyModel, GraphContext};
 use ppfr_graph::SparseMatrix;
-use ppfr_influence::{compute_influences, InfluenceSet};
+use ppfr_influence::{compute_influences, compute_influences_lissa, InfluenceSet, LissaConfig};
 use ppfr_privacy::PairSample;
 use ppfr_qclp::{solve, QclpProblem, SolverOptions};
+
+/// LiSSA truncation depth of the budget-degraded influence estimator: deep
+/// enough for a usable bias/utility ranking on the audit graphs, shallow
+/// enough that its fixed cost is acceptable after the cell budget has run
+/// out.
+const DEGRADED_LISSA_DEPTH: usize = 8;
 
 /// Outcome of the fairness-aware re-weighting step.
 #[derive(Debug, Clone)]
@@ -36,15 +42,43 @@ pub fn fairness_weights(
     sample: &PairSample,
     cfg: &PpfrConfig,
 ) -> ReweightOutcome {
-    let influences = compute_influences(
-        model,
-        ctx,
-        labels,
-        train_ids,
-        l_s,
-        sample,
-        &cfg.influence_config(),
-    );
+    // Estimator ladder: configured LiSSA (opt-in fast path) > budget-degraded
+    // shallow LiSSA > exact dense CG (the paper's protocol).  The degraded
+    // rung only engages when the ambient cell budget is already exhausted —
+    // an exact solve would be truncated mid-CG anyway, so a shallow LiSSA
+    // estimate is the better use of the remaining work; the downgrade is
+    // recorded as a DegradationEvent so reports always flag approximation.
+    let influences = if cfg.lissa_depth > 0 {
+        compute_influences_lissa(
+            model,
+            ctx,
+            labels,
+            train_ids,
+            l_s,
+            sample,
+            &cfg.lissa_config(),
+        )
+    } else if ppfr_resilience::budget_exhausted() {
+        ppfr_resilience::note_degradation("influence", "cg", "lissa");
+        let degraded = LissaConfig::from_influence(&cfg.influence_config(), DEGRADED_LISSA_DEPTH);
+        // Run the fallback under a fresh unlimited budget: the exhausted
+        // ambient budget would otherwise truncate the shallow estimator at
+        // depth 0 via its own checkpoints.  Its cost is a small fixed
+        // constant, which is the point of degrading in the first place.
+        ppfr_resilience::with_budget(&ppfr_resilience::Budget::unlimited(), || {
+            compute_influences_lissa(model, ctx, labels, train_ids, l_s, sample, &degraded)
+        })
+    } else {
+        compute_influences(
+            model,
+            ctx,
+            labels,
+            train_ids,
+            l_s,
+            sample,
+            &cfg.influence_config(),
+        )
+    };
     let problem = QclpProblem {
         bias_influence: influences.bias.clone(),
         util_influence: influences.util.clone(),

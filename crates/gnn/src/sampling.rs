@@ -149,6 +149,11 @@ pub fn train_sampled(
     let mut params = model.params();
     let mut loss_history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        // Cooperative deadline, mirroring `train`: stop early under an
+        // exhausted ambient budget and report on what was learned so far.
+        if !ppfr_resilience::checkpoint(1) {
+            break;
+        }
         let _epoch_span = ppfr_telemetry::span!("train_sampled_epoch");
         let epoch_seed = cfg.seed.wrapping_add(epoch as u64);
         sctx.resample(epoch_seed);

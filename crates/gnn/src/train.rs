@@ -147,6 +147,11 @@ pub fn train_with_workspace(
     let mut params = model.params();
     let mut loss_history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        // Cooperative deadline: under an exhausted ambient budget the model
+        // keeps whatever it has learned so far instead of panicking mid-run.
+        if !ppfr_resilience::checkpoint(1) {
+            break;
+        }
         let _epoch_span = ppfr_telemetry::span!("train_epoch");
         model.resample(ctx, cfg.seed.wrapping_add(epoch as u64));
         model.forward_ws(ctx, ws);
@@ -205,6 +210,11 @@ pub fn train_legacy(
     let mut params = model.params();
     let mut loss_history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        // Same budget checkpoint as the workspace path, so the legacy oracle
+        // stays bit-identical to `train` even under an exhausted budget.
+        if !ppfr_resilience::checkpoint(1) {
+            break;
+        }
         model.resample(ctx, cfg.seed.wrapping_add(epoch as u64));
         let logits = model.forward(ctx);
         let ce = weighted_cross_entropy(&logits, labels, train_ids, weights);

@@ -125,6 +125,31 @@ pub fn compute_influences(
     }
 }
 
+/// [`compute_influences`] with the stochastic LiSSA estimator in place of the
+/// exact CG solve — the degraded rung of the resilience ladder (and the
+/// opt-in fast path when `lissa_depth` is configured).  Shares the gradient
+/// and adjoint-tail code with the exact path, so only the inverse-Hessian
+/// solve differs; callers must flag results as approximate (the runner
+/// records a [`ppfr_resilience::DegradationEvent`] per downgrade).
+pub fn compute_influences_lissa(
+    model: &AnyModel,
+    ctx: &GraphContext,
+    labels: &[usize],
+    train_ids: &[usize],
+    l_s: &SparseMatrix,
+    sample: &PairSample,
+    cfg: &crate::LissaConfig,
+) -> InfluenceSet {
+    let grad_util = training_loss_grad(model, ctx, labels, train_ids);
+    let grad_bias = bias_grad_wrt_params(model, ctx, l_s);
+    let grad_risk = risk_grad_wrt_params(model, ctx, sample);
+    InfluenceSet {
+        util: crate::lissa_influence_on(model, ctx, labels, train_ids, &grad_util, cfg),
+        bias: crate::lissa_influence_on(model, ctx, labels, train_ids, &grad_bias, cfg),
+        risk: crate::lissa_influence_on(model, ctx, labels, train_ids, &grad_risk, cfg),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -177,6 +177,11 @@ pub fn conjugate_gradient(
     }
     let mut iters = 0u64;
     for _ in 0..max_iters {
+        // Cooperative deadline: an exhausted ambient budget truncates the
+        // solve at the current (finite, partially converged) iterate.
+        if !ppfr_resilience::checkpoint(1) {
+            break;
+        }
         iters += 1;
         let ap = apply(&p);
         let p_ap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();

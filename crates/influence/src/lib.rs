@@ -22,7 +22,8 @@ mod lissa;
 mod risk_grad;
 
 pub use engine::{
-    compute_influences, influence_from_s_f, influence_on, InfluenceConfig, InfluenceSet,
+    compute_influences, compute_influences_lissa, influence_from_s_f, influence_on,
+    InfluenceConfig, InfluenceSet,
 };
 pub use gradients::{
     bias_grad_wrt_params, node_loss_grad, risk_grad_wrt_params, training_loss_grad,

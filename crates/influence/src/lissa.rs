@@ -171,6 +171,11 @@ pub fn lissa_influence_on(
     for chain in 0..samples as u64 {
         let mut x: Vec<f64> = grad_f.to_vec();
         for j in 0..cfg.depth as u64 {
+            // Cooperative deadline: truncating the Neumann series early still
+            // yields a finite (coarser) estimate.
+            if !ppfr_resilience::checkpoint(1) {
+                break;
+            }
             let batch = draw_batch(train_ids, cfg.batch, cfg.seed, chain, j);
             let hx = hessian_vector_product_with(
                 &mut scratch,

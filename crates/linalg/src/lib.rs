@@ -19,7 +19,9 @@ pub use ops::{
     row_softmax_backward, row_softmax_backward_into, row_softmax_into, row_softmax_into_serial,
     row_softmax_serial,
 };
-pub use parallel::{par_chunks, par_fill, par_join, par_row_blocks, par_rows};
+pub use parallel::{
+    par_chunks, par_fill, par_join, par_row_blocks, par_rows, par_rows_quarantined,
+};
 pub use stats::{mean, pearson, std_dev, variance};
 
 /// Numerical tolerance used by tests and iterative solvers in downstream

@@ -241,6 +241,43 @@ pub fn par_rows<T: Send>(n_rows: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T>
         .collect()
 }
 
+/// [`par_rows`] with per-row panic quarantine: a panicking row is reported
+/// as `Err(panic message)` at its own index instead of aborting the whole
+/// dispatch, so every other row still computes.  Built for coarse fallible
+/// tasks — the scenario runner's `(dataset, seed)` groups — where one bad
+/// row must not lose the rest of the matrix.
+///
+/// Ordering and determinism match [`par_rows`]: results land by index and
+/// the quarantine decision depends only on whether `f(row)` panics, never on
+/// thread count or stealing order (pinned by the forced-thread test below).
+pub fn par_rows_quarantined<T: Send>(
+    n_rows: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<Result<T, String>> {
+    let threads = current_num_threads().min(n_rows.max(1));
+    note_dispatch(threads > 1);
+    let mut out: Vec<Option<T>> = (0..n_rows).map(|_| None).collect();
+    let base = SendPtr(out.as_mut_ptr());
+    let caught = rayon::dispatch_quarantined(n_rows, threads, |i| {
+        // SAFETY: slot `i` is written by exactly one task and `out` outlives
+        // the dispatch.
+        unsafe { *base.get().add(i) = Some(f(i)) };
+    });
+    let mut results: Vec<Result<T, String>> = out
+        .into_iter()
+        .map(|slot| slot.ok_or_else(String::new))
+        .collect();
+    for (i, payload) in caught {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        results[i] = Err(message);
+    }
+    results
+}
+
 /// Runs both closures, potentially concurrently, and returns both results.
 ///
 /// Pool-aware: the second closure is published to the persistent pool as a
@@ -408,6 +445,43 @@ mod tests {
         for threads in [2, 8] {
             let rows = with_forced_threads(threads, || par_rows(2, |r| vec![r as f64; 3]));
             assert_eq!(rows, vec![vec![0.0; 3], vec![1.0; 3]]);
+        }
+    }
+
+    #[test]
+    fn par_rows_quarantined_isolates_panics_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let rows = with_forced_threads(threads, || {
+                par_rows_quarantined(10, |r| {
+                    if r == 3 {
+                        panic!("row {r} exploded");
+                    }
+                    (r * r) as f64
+                })
+            });
+            assert_eq!(rows.len(), 10);
+            for (r, slot) in rows.iter().enumerate() {
+                if r == 3 {
+                    assert_eq!(
+                        slot.as_ref().unwrap_err(),
+                        "row 3 exploded",
+                        "payload message survives at {threads} threads"
+                    );
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &((r * r) as f64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_rows_quarantined_matches_par_rows_when_nothing_panics() {
+        let plain = par_rows(64, |r| (r as f64).sin());
+        for threads in [1, 4] {
+            let quarantined =
+                with_forced_threads(threads, || par_rows_quarantined(64, |r| (r as f64).sin()));
+            let unwrapped: Vec<f64> = quarantined.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(unwrapped, plain, "differs at {threads} threads");
         }
     }
 

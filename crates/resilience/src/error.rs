@@ -1,0 +1,111 @@
+//! The typed error of every fallible runner path.
+
+use std::any::Any;
+use std::fmt;
+
+/// Why a scenario, group or cell could not produce its result.  The runner
+/// converts panics and injected faults into these variants instead of
+/// aborting the matrix; a cell-scoped error lands in the report's
+/// `failed_cells` section, a scenario-scoped one is returned to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The scenario spec failed validation (empty axis, duplicate seeds…).
+    InvalidSpec(String),
+    /// A cell's computation panicked and was quarantined.
+    CellPanic {
+        /// `dataset:s<seed>:<model>:<method>` identity of the cell.
+        cell: String,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A cell returned a (possibly transient) error.
+    CellError {
+        /// `dataset:s<seed>:<model>:<method>` identity of the cell.
+        cell: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A whole `(dataset, seed)` group panicked before its cells could be
+    /// quarantined individually (e.g. during artifact construction).
+    GroupPanic {
+        /// `dataset:s<seed>` identity of the group.
+        group: String,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A cached artifact bundle failed its checksum validation.
+    ArtifactCorrupt {
+        /// The artifact cache key.
+        key: String,
+    },
+    /// A cooperative budget ran out at the named site.
+    BudgetExhausted {
+        /// Which checkpoint site observed the exhaustion.
+        site: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidSpec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            RunError::CellPanic { cell, message } => {
+                write!(f, "cell {cell} panicked: {message}")
+            }
+            RunError::CellError { cell, message } => write!(f, "cell {cell} failed: {message}"),
+            RunError::GroupPanic { group, message } => {
+                write!(f, "group {group} panicked: {message}")
+            }
+            RunError::ArtifactCorrupt { key } => {
+                write!(f, "artifact bundle {key} failed checksum validation")
+            }
+            RunError::BudgetExhausted { site } => write!(f, "budget exhausted at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Renders a caught panic payload (`Box<dyn Any + Send>`) as text: the
+/// `&str` / `String` payloads real panics carry, or a placeholder for
+/// anything else.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_unit() {
+        let e = RunError::CellPanic {
+            cell: "cora:s7:GCN:PPFR".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "cell cora:s7:GCN:PPFR panicked: boom");
+        assert!(RunError::InvalidSpec("empty axis".into())
+            .to_string()
+            .contains("empty axis"));
+        assert!(RunError::ArtifactCorrupt { key: "k".into() }
+            .to_string()
+            .contains("checksum"));
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("static message")).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "static message");
+        let caught =
+            std::panic::catch_unwind(|| panic!("{} {}", "formatted", 7)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let opaque: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(opaque.as_ref()), "non-string panic payload");
+    }
+}

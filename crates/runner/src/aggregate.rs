@@ -118,6 +118,50 @@ impl SeedRun {
     }
 }
 
+/// One `(dataset, model, method, seed)` cell that failed permanently — every
+/// retry attempt exhausted or its whole group panicked.  Failed cells are
+/// quarantined out of `runs` (their seeds simply do not contribute to the
+/// `mean ± std` statistics) and reported here instead of aborting the
+/// scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailedCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model architecture name.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// The run seed.
+    pub seed: u64,
+    /// Human-readable error (panic message, injected fault, …).
+    pub error: String,
+    /// Attempts consumed before the cell was quarantined.
+    pub attempts: u32,
+}
+
+/// One recorded graceful degradation: a `(dataset, model, method, seed)`
+/// cell that completed, but on a downgraded estimator (e.g. exact CG →
+/// shallow LiSSA) because its work budget ran out.  Degraded cells still
+/// contribute to the statistics — this section is what flags that their
+/// metrics deviate from the paper's exact protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradedCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model architecture name.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// The run seed.
+    pub seed: u64,
+    /// Where the downgrade happened (e.g. `influence`, `pair_sample`).
+    pub site: String,
+    /// The exact estimator that was abandoned.
+    pub from: String,
+    /// The degraded estimator that ran instead.
+    pub to: String,
+}
+
 /// `mean ± std` of one metric of one `(dataset, model, method)` cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -144,6 +188,12 @@ pub struct MatrixReport {
     pub runs: Vec<SeedRun>,
     /// Every `mean ± std` row, sorted by `(dataset, model, method, metric)`.
     pub summaries: Vec<RunSummary>,
+    /// Cells quarantined after exhausting their retry attempts, sorted by
+    /// `(dataset, model, method, seed)`; empty on a clean run.
+    pub failed_cells: Vec<FailedCell>,
+    /// Cells that completed on a degraded estimator, sorted by
+    /// `(dataset, model, method, seed, site)`; empty on an unbounded run.
+    pub degraded: Vec<DegradedCell>,
 }
 
 /// Canonicalises and aggregates the executor's runs into a report.
@@ -190,7 +240,21 @@ pub fn aggregate(scenario: &str, seeds: &[u64], mut runs: Vec<SeedRun>) -> Matri
         seeds: sorted_seeds,
         runs,
         summaries,
+        failed_cells: Vec::new(),
+        degraded: Vec::new(),
     }
+}
+
+/// Canonicalises the resilience sections in place (the executor collects
+/// them in group-completion order, which is thread-count dependent).
+pub fn sort_resilience_sections(failed: &mut [FailedCell], degraded: &mut [DegradedCell]) {
+    failed.sort_by(|a, b| {
+        (&a.dataset, &a.model, &a.method, a.seed).cmp(&(&b.dataset, &b.model, &b.method, b.seed))
+    });
+    degraded.sort_by(|a, b| {
+        (&a.dataset, &a.model, &a.method, a.seed, &a.site)
+            .cmp(&(&b.dataset, &b.model, &b.method, b.seed, &b.site))
+    });
 }
 
 impl MatrixReport {
@@ -264,6 +328,18 @@ impl MatrixReport {
                 get("d_bias_pct").pm(2),
                 get("d_risk_pct").pm(2),
                 get("delta").pm(3),
+            ));
+        }
+        for f in &self.failed_cells {
+            out.push_str(&format!(
+                "FAILED   {} {} {} seed {}: {} (after {} attempts)\n",
+                f.dataset, f.model, f.method, f.seed, f.error, f.attempts
+            ));
+        }
+        for d in &self.degraded {
+            out.push_str(&format!(
+                "DEGRADED {} {} {} seed {}: {} {} -> {}\n",
+                d.dataset, d.model, d.method, d.seed, d.site, d.from, d.to
             ));
         }
         out

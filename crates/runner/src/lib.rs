@@ -12,6 +12,10 @@
 //!   runs `(dataset, seed)` groups in parallel through
 //!   `ppfr_linalg::parallel` — thread count never changes the report, which
 //!   is pinned by forced-`PPFR_NUM_THREADS` tests like the kernel layer;
+//!   a panicking cell is quarantined into the report's `failed_cells`
+//!   section (after deterministic retries) instead of aborting the matrix,
+//!   and per-cell budgets degrade the estimators gracefully, recorded in
+//!   the `degraded` section (see `ppfr_resilience`);
 //! * the [`ArtifactCache`] shares per-`(dataset, seed)` artifacts (the
 //!   generated graph, the threat auditor's pair sample + shadow bundle, the
 //!   trained vanilla checkpoints) across methods and across re-runs, so
@@ -25,10 +29,10 @@
 //! use ppfr_runner::{ArtifactCache, ScenarioSpec, run_scenario};
 //!
 //! let cache = ArtifactCache::new();
-//! let report = run_scenario(&ScenarioSpec::bench_small(), &cache);
+//! let report = run_scenario(&ScenarioSpec::bench_small(), &cache).expect("valid spec");
 //! println!("{}", report.to_table_string());
-//! let warm = run_scenario(&ScenarioSpec::bench_small(), &cache); // cache-warm
-//! assert_eq!(report.to_json(), warm.to_json());
+//! let warm = run_scenario(&ScenarioSpec::bench_small(), &cache).expect("valid spec");
+//! assert_eq!(report.to_json(), warm.to_json()); // cache-warm, bit-identical
 //! ```
 
 #![forbid(unsafe_code)]

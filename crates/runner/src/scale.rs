@@ -26,6 +26,7 @@ use ppfr_fairness::streamed_bias;
 use ppfr_gnn::{train_sampled, AnyModel, ModelKind, SampledContext, TrainConfig, TrainWorkspace};
 use ppfr_linalg::Matrix;
 use ppfr_privacy::{average_attack_auc, PairSample};
+use ppfr_resilience::RunError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -137,13 +138,24 @@ fn block_posteriors(blocks: &[usize], n_classes: usize) -> Matrix {
 /// Runs the full scaling scenario for `spec`; see the module docs for the
 /// stage list.  Never materialises any `n × n` object — peak memory is
 /// `O(|E| + n · n_blocks)`.
-pub fn run_scale_scenario(spec: &ScaleSpec) -> ScaleReport {
+///
+/// Malformed specs come back as [`RunError::InvalidSpec`] instead of
+/// panicking, so callers embedding the scenario in larger sweeps can report
+/// the bad configuration and move on.
+pub fn run_scale_scenario(spec: &ScaleSpec) -> Result<ScaleReport, RunError> {
     let _span = ppfr_telemetry::span!("scale_scenario");
-    assert!(
-        spec.n_nodes >= 2 && spec.train_nodes >= 2,
-        "graphs too small"
-    );
-    assert!(spec.n_blocks >= 2, "need at least two blocks for an attack");
+    if spec.n_nodes < 2 || spec.train_nodes < 2 {
+        return Err(RunError::InvalidSpec(format!(
+            "graphs too small: n_nodes={}, train_nodes={} (both need >= 2)",
+            spec.n_nodes, spec.train_nodes
+        )));
+    }
+    if spec.n_blocks < 2 {
+        return Err(RunError::InvalidSpec(format!(
+            "need at least two blocks for an attack, got {}",
+            spec.n_blocks
+        )));
+    }
 
     let (graph, blocks) = {
         let _s = ppfr_telemetry::span!("scale_graph_gen");
@@ -206,7 +218,7 @@ pub fn run_scale_scenario(spec: &ScaleSpec) -> ScaleReport {
         report.train_accuracy
     };
 
-    ScaleReport {
+    Ok(ScaleReport {
         n_nodes: graph.n_nodes(),
         n_edges: graph.n_edges(),
         bias,
@@ -214,7 +226,7 @@ pub fn run_scale_scenario(spec: &ScaleSpec) -> ScaleReport {
         attack_pairs,
         train_nodes: spec.train_nodes,
         sampled_train_accuracy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -235,7 +247,7 @@ mod tests {
 
     #[test]
     fn scale_scenario_produces_sane_metrics() {
-        let report = run_scale_scenario(&tiny());
+        let report = run_scale_scenario(&tiny()).expect("tiny spec is valid");
         assert_eq!(report.n_nodes, 1_500);
         assert!(report.n_edges > 0);
         assert!(report.bias.is_finite() && report.bias >= 0.0);
@@ -254,14 +266,32 @@ mod tests {
     #[test]
     fn scale_scenario_is_deterministic_and_thread_count_invariant() {
         let spec = tiny();
-        let baseline = ppfr_linalg::parallel::with_forced_threads(1, || run_scale_scenario(&spec));
+        let baseline = ppfr_linalg::parallel::with_forced_threads(1, || run_scale_scenario(&spec))
+            .expect("tiny spec is valid");
         assert_eq!(
             baseline,
-            run_scale_scenario(&spec),
+            run_scale_scenario(&spec).expect("tiny spec is valid"),
             "scale scenario must be deterministic run-to-run"
         );
-        let par = ppfr_linalg::parallel::with_forced_threads(4, || run_scale_scenario(&spec));
+        let par = ppfr_linalg::parallel::with_forced_threads(4, || run_scale_scenario(&spec))
+            .expect("tiny spec is valid");
         assert_eq!(par, baseline, "scale scenario differs at 4 threads");
+    }
+
+    #[test]
+    fn degenerate_scale_specs_are_errors_not_panics() {
+        let too_small = ScaleSpec {
+            n_nodes: 1,
+            ..tiny()
+        };
+        let err = run_scale_scenario(&too_small).expect_err("one-node graph must be rejected");
+        assert!(matches!(err, RunError::InvalidSpec(_)), "got {err:?}");
+        let one_block = ScaleSpec {
+            n_blocks: 1,
+            ..tiny()
+        };
+        let err = run_scale_scenario(&one_block).expect_err("one block must be rejected");
+        assert!(err.to_string().contains("two blocks"), "got {err}");
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub struct ScenarioSpec {
     /// When set, audit only the named threat models (see
     /// [`ppfr_core::ThreatModel::name`]); `None` audits the full grid.
     pub threat_models: Option<Vec<String>>,
+    /// Optional per-cell work budget, in cooperative checkpoint units
+    /// (training epochs, CG/LiSSA iterations).  `None` runs the exact
+    /// protocol unbounded; `Some(n)` makes every cell deadline-aware — on
+    /// exhaustion the pipelines degrade gracefully (truncated training,
+    /// shallow LiSSA, capped pair sample) and every downgrade is recorded in
+    /// the report's `degraded` section.
+    pub cell_budget: Option<u64>,
+    /// Total attempts per cell (first try included, ≥ 1): a transient cell
+    /// failure is retried deterministically before the cell is quarantined
+    /// into the report's `failed_cells` section.
+    pub max_cell_attempts: u32,
 }
 
 /// One `(dataset, seed)` cell of the expanded matrix — the unit of artifact
@@ -60,7 +71,21 @@ impl ScenarioSpec {
             seeds: DEFAULT_SEEDS.to_vec(),
             config,
             threat_models: None,
+            cell_budget: None,
+            max_cell_attempts: 2,
         }
+    }
+
+    /// Sets the per-cell work budget (cooperative checkpoint units).
+    pub fn with_cell_budget(mut self, units: u64) -> Self {
+        self.cell_budget = Some(units);
+        self
+    }
+
+    /// Sets the total attempts per cell (first try included).
+    pub fn with_max_cell_attempts(mut self, attempts: u32) -> Self {
+        self.max_cell_attempts = attempts;
+        self
     }
 
     /// Sets the architecture axis.
@@ -153,6 +178,12 @@ impl ScenarioSpec {
                     self.name, spec.name
                 ));
             }
+        }
+        if self.max_cell_attempts == 0 {
+            return Err(format!(
+                "scenario '{}' allows zero cell attempts",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -276,6 +307,21 @@ mod tests {
         let mut twice = ScenarioSpec::golden_small();
         twice.datasets = vec![two_block_synthetic(), two_block_synthetic()];
         assert!(twice.validate().is_err(), "duplicate dataset names");
+        let no_attempts = ScenarioSpec::golden_small().with_max_cell_attempts(0);
+        assert!(no_attempts.validate().is_err(), "zero cell attempts");
+    }
+
+    #[test]
+    fn resilience_knobs_default_to_the_exact_protocol() {
+        let spec = ScenarioSpec::golden_small();
+        assert_eq!(spec.cell_budget, None, "budget must be opt-in");
+        assert_eq!(spec.max_cell_attempts, 2);
+        let bounded = ScenarioSpec::golden_small()
+            .with_cell_budget(500)
+            .with_max_cell_attempts(3);
+        assert_eq!(bounded.cell_budget, Some(500));
+        assert_eq!(bounded.max_cell_attempts, 3);
+        bounded.validate().expect("bounded spec is valid");
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Property test over seeded fault plans: for ANY subset of cells injected
+//! with an always-firing panic, at ANY forced thread count, the report's
+//! `failed_cells` section is exactly the injected set and every surviving
+//! cell is bit-identical to the fault-free baseline.
+
+use ppfr_core::{Method, PpfrConfig};
+use ppfr_datasets::two_block_synthetic;
+use ppfr_linalg::parallel::with_forced_threads;
+use ppfr_resilience::{with_fault_plan, FaultKind, FaultPlan, FaultSpec};
+use ppfr_runner::{run_scenario, ArtifactCache, MatrixReport, ScenarioSpec};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// 1 dataset × GCN × {Vanilla, Reg} × 2 seeds — 4 cells, the smallest matrix
+/// with both a seed axis and a method axis to aim faults at.
+fn prop_scenario() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "chaos-prop",
+        vec![two_block_synthetic()],
+        PpfrConfig {
+            vanilla_epochs: 10,
+            influence_cg_iters: 3,
+            ..PpfrConfig::smoke()
+        },
+    )
+    .with_methods(&[Method::Vanilla, Method::Reg])
+    .with_seeds(&[7, 11])
+}
+
+/// Every `(cell key, dataset, model, method, seed)` of [`prop_scenario`]'s
+/// matrix, in expansion order.
+fn all_cells() -> Vec<(String, &'static str, &'static str, &'static str, u64)> {
+    let mut cells = Vec::new();
+    for seed in [7u64, 11] {
+        for method in ["Vanilla", "Reg"] {
+            cells.push((
+                format!("two-block:s{seed}:GCN:{method}"),
+                "two-block",
+                "GCN",
+                method,
+                seed,
+            ));
+        }
+    }
+    cells
+}
+
+/// The fault-free baseline, computed once per process.
+fn baseline() -> &'static MatrixReport {
+    static BASELINE: OnceLock<MatrixReport> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        run_scenario(&prop_scenario(), &ArtifactCache::new()).expect("prop scenario is valid")
+    })
+}
+
+proptest! {
+    // Each case executes the full (small) matrix, so keep the case count low;
+    // the mask × thread-count space is only 32 points anyway.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn failed_cells_are_exactly_the_injected_set_and_survivors_are_untouched(
+        mask in 0u32..16,
+        plan_seed in 0u64..u64::MAX,
+        threads_pick in 0usize..2,
+    ) {
+        let threads = [1usize, 4][threads_pick];
+        let clean = baseline();
+        let cells = all_cells();
+        let injected: Vec<_> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, cell)| cell)
+            .collect();
+        let mut plan = FaultPlan::empty(plan_seed);
+        for (key, ..) in &injected {
+            plan = plan.with(FaultSpec::always("cell", key, FaultKind::Panic));
+        }
+        let report = with_fault_plan(plan, || {
+            with_forced_threads(threads, || {
+                run_scenario(&prop_scenario(), &ArtifactCache::new())
+                    .expect("faulted run still reports")
+            })
+        });
+
+        // `failed_cells` is exactly the injected set (sorted canonically).
+        let mut want: Vec<(&str, &str, &str, u64)> = injected
+            .iter()
+            .map(|(_, d, m, meth, s)| (*d, *m, *meth, *s))
+            .collect();
+        want.sort_unstable();
+        let got: Vec<(&str, &str, &str, u64)> = report
+            .failed_cells
+            .iter()
+            .map(|f| (f.dataset.as_str(), f.model.as_str(), f.method.as_str(), f.seed))
+            .collect();
+        prop_assert_eq!(got, want, "failed set mismatch at {} threads", threads);
+
+        // Every survivor is bit-identical to the fault-free baseline.
+        prop_assert_eq!(
+            report.runs.len() + report.failed_cells.len(),
+            cells.len(),
+            "every cell is either a run or a quarantined failure"
+        );
+        for run in &report.runs {
+            let reference = clean
+                .runs
+                .iter()
+                .find(|r| {
+                    (&r.dataset, &r.model, &r.method, r.seed)
+                        == (&run.dataset, &run.model, &run.method, run.seed)
+                })
+                .expect("survivor exists in the baseline");
+            prop_assert_eq!(
+                serde_json::to_string(run).expect("serialises"),
+                serde_json::to_string(reference).expect("serialises"),
+                "surviving cell diverged from the baseline"
+            );
+        }
+    }
+}

@@ -119,15 +119,15 @@ fn warm_cache_runs_are_bit_identical_to_cold() {
     .with_seeds(&[7, 11]);
 
     let cache = ArtifactCache::new();
-    let cold = run_scenario(&spec, &cache);
+    let cold = run_scenario(&spec, &cache).expect("cache-prop spec is valid");
     assert_eq!(cache.misses(), 2);
     assert_eq!(cache.hits(), 0);
 
-    let warm = run_scenario(&spec, &cache);
+    let warm = run_scenario(&spec, &cache).expect("cache-prop spec is valid");
     assert_eq!(cache.misses(), 2, "warm run must not rebuild artifacts");
     assert_eq!(cache.hits(), 2);
     assert_eq!(cold.to_json(), warm.to_json(), "warm != cold");
 
-    let serial_warm = run_scenario_serial(&spec, &cache);
+    let serial_warm = run_scenario_serial(&spec, &cache).expect("cache-prop spec is valid");
     assert_eq!(cold.to_json(), serial_warm.to_json(), "serial warm != cold");
 }

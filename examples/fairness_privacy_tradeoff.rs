@@ -24,7 +24,13 @@ fn main() {
         spec.seeds
     );
 
-    let report = run_scenario(&spec, &ArtifactCache::new());
+    let report = match run_scenario(&spec, &ArtifactCache::new()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("scenario failed: {err}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "{:<10} {:>16} {:>16} {:>16} {:>16} {:>10}",
         "dataset", "bias(van)", "bias(Reg)", "AUC(van)", "AUC(Reg)", "mean risk Δ"

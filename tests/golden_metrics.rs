@@ -95,10 +95,12 @@ fn golden_small_matrix_matches_snapshot_across_thread_counts() {
     // must be bit-identical (same guarantee as the kernel layer's
     // serial/parallel twins).
     let cache = ArtifactCache::new();
-    let report_t1 = ppfr_linalg::parallel::with_forced_threads(1, || run_scenario(&spec, &cache));
+    let report_t1 = ppfr_linalg::parallel::with_forced_threads(1, || run_scenario(&spec, &cache))
+        .expect("golden scenario is valid");
     let report_t4 = ppfr_linalg::parallel::with_forced_threads(4, || {
         run_scenario(&spec, &ArtifactCache::new())
-    });
+    })
+    .expect("golden scenario is valid");
     assert_eq!(
         report_t1.to_json(),
         report_t4.to_json(),
@@ -106,7 +108,7 @@ fn golden_small_matrix_matches_snapshot_across_thread_counts() {
     );
 
     // Cache-warm re-run (same cache as the first execution): bit-identical.
-    let warm = run_scenario(&spec, &cache);
+    let warm = run_scenario(&spec, &cache).expect("golden scenario is valid");
     assert_eq!(
         report_t1.to_json(),
         warm.to_json(),

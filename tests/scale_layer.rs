@@ -110,8 +110,10 @@ fn scale_scenario_smoke_spec_is_deterministic_across_thread_counts() {
         ..ScaleSpec::million()
     };
     let t1: ScaleReport =
-        ppfr_linalg::parallel::with_forced_threads(1, || run_scale_scenario(&spec));
-    let t4 = ppfr_linalg::parallel::with_forced_threads(4, || run_scale_scenario(&spec));
+        ppfr_linalg::parallel::with_forced_threads(1, || run_scale_scenario(&spec))
+            .expect("smoke-scale spec is valid");
+    let t4 = ppfr_linalg::parallel::with_forced_threads(4, || run_scale_scenario(&spec))
+        .expect("smoke-scale spec is valid");
     assert_eq!(t1, t4, "scale scenario must not depend on thread count");
     assert!(
         t1.attack_auc > 0.5,
@@ -128,7 +130,7 @@ fn scale_scenario_smoke_spec_is_deterministic_across_thread_counts() {
 #[test]
 #[ignore = "release-build big-graph smoke; run with -- --ignored"]
 fn million_node_scenario_completes_without_dense_n_squared_state() {
-    let report = run_scale_scenario(&ScaleSpec::million());
+    let report = run_scale_scenario(&ScaleSpec::million()).expect("million spec is valid");
     assert_eq!(report.n_nodes, 1_000_000);
     assert!(
         report.n_edges > 3_000_000,

@@ -93,6 +93,25 @@ where
     pool::dispatch(n_items, threads, &task);
 }
 
+/// [`dispatch`] with per-index panic quarantine: a panicking task is caught
+/// at the pool task boundary and reported as `(index, payload)` instead of
+/// aborting the job, so every other index still runs exactly once.  Returns
+/// the caught payloads sorted by index (deterministic across thread counts
+/// and stealing orders); an empty vec means every task completed.
+///
+/// Plain [`dispatch`] keeps its abort-and-reraise semantics — quarantine is
+/// strictly opt-in via this entry point.
+pub fn dispatch_quarantined<F>(
+    n_items: usize,
+    threads: usize,
+    task: F,
+) -> Vec<(usize, Box<dyn std::any::Any + Send>)>
+where
+    F: Fn(usize) + Sync,
+{
+    pool::dispatch_quarantined(n_items, threads, &task)
+}
+
 /// Below this many items per worker, dispatch overhead outweighs the split:
 /// the participant count is capped so each has at least this much work,
 /// degenerating to fully serial for tiny inputs.
@@ -401,6 +420,37 @@ mod tests {
         // The pool must stay serviceable after an aborted job.
         let v: Vec<usize> = forced(4, || (0..64usize).into_par_iter().map(|x| x + 1).collect());
         assert_eq!(v, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_quarantined_isolates_panics_and_runs_every_other_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 2, 8] {
+            let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            let caught = forced(threads, || {
+                dispatch_quarantined(counters.len(), threads, |i| {
+                    if i == 17 || i == 63 {
+                        panic!("quarantined {i}");
+                    }
+                    counters[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            let indices: Vec<usize> = caught.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, vec![17, 63], "at {threads} threads");
+            for (i, c) in counters.iter().enumerate() {
+                let expected = usize::from(i != 17 && i != 63);
+                assert_eq!(c.load(Ordering::Relaxed), expected, "index {i}");
+            }
+            let msg = caught[0]
+                .1
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("quarantined 17"), "payload preserved: {msg}");
+        }
+        // The pool stays serviceable and plain dispatch still aborts.
+        let v: Vec<usize> = forced(4, || (0..32usize).into_par_iter().map(|x| x).collect());
+        assert_eq!(v.len(), 32);
     }
 
     #[test]

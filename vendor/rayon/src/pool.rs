@@ -259,6 +259,37 @@ pub(crate) fn dispatch(n_items: usize, threads: usize, task: &(dyn Fn(usize) + S
     }
 }
 
+/// [`dispatch`] with per-index panic quarantine: every panicking task is
+/// caught at the pool task boundary and returned as `(index, payload)`
+/// instead of aborting the job, so the remaining indices still run.
+///
+/// Implemented as a wrapper around [`dispatch`] (serial fallback included):
+/// the quarantining closure never lets a panic escape into the steal
+/// protocol, so the core's abort-and-reraise path — which non-quarantined
+/// callers rely on — is untouched and `StealCore` needs no new states.
+/// Payloads are returned sorted by index, independent of which participant
+/// ran what.
+pub(crate) fn dispatch_quarantined(
+    n_items: usize,
+    threads: usize,
+    task: &(dyn Fn(usize) + Sync),
+) -> Vec<(usize, Box<dyn std::any::Any + Send>)> {
+    let caught: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+    dispatch(n_items, threads, &|i| {
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
+            caught
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push((i, payload));
+        }
+    });
+    let mut caught = caught
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    caught.sort_by_key(|(i, _)| *i);
+    caught
+}
+
 /// A scoped two-closure job backing [`crate::join`]: the second closure is
 /// published as a stealable one-seat pool task instead of spawning a thread.
 struct JoinJob<B, RB> {
